@@ -1,0 +1,57 @@
+// Command ghost-bench regenerates the tables and figures of the ghOSt
+// paper's evaluation (§4) from the simulator.
+//
+// Usage:
+//
+//	ghost-bench -list
+//	ghost-bench -exp fig6a
+//	ghost-bench -exp all -quick
+//
+// Each experiment prints an aligned text table with the paper's numbers
+// alongside the measured ones, plus notes on the expected shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ghost/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick = flag.Bool("quick", false, "shrink durations/sweeps for a fast pass")
+		seed  = flag.Uint64("seed", 1, "experiment random seed")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		rep := e.Run(opts)
+		fmt.Println(rep.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e := experiments.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(*e)
+}

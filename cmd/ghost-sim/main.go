@@ -1,0 +1,105 @@
+// Command ghost-sim runs an ad-hoc scheduling scenario: a Poisson
+// request workload served by a worker pool under a chosen scheduler, on
+// a chosen machine, printing the latency distribution.
+//
+// Usage:
+//
+//	ghost-sim -machine xeon-e5 -sched ghost-shinjuku -rate 200000 -dur 2s
+//	ghost-sim -sched cfs -service 25us -workers 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ghost"
+	"ghost/internal/sim"
+	"ghost/internal/workload"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "xeon-e5", "machine: skylake, haswell, xeon-e5, rome")
+		sched   = flag.String("sched", "ghost-fifo", "scheduler: cfs, microquanta, ghost-fifo, ghost-shinjuku")
+		rate    = flag.Float64("rate", 100000, "request arrival rate (req/s)")
+		service = flag.Duration("service", 10*time.Microsecond, "request service time")
+		bimodal = flag.Bool("rocksdb", false, "use the paper's bimodal RocksDB service distribution")
+		workers = flag.Int("workers", 32, "worker pool size")
+		cpus    = flag.Int("cpus", 20, "CPUs for the workers (plus one for the agent)")
+		dur     = flag.Duration("dur", time.Second, "simulated duration")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		trace   = flag.Bool("trace", false, "dump kernel scheduling trace")
+	)
+	flag.Parse()
+
+	var topo *ghost.Topology
+	switch *machine {
+	case "skylake":
+		topo = ghost.Skylake()
+	case "haswell":
+		topo = ghost.Haswell()
+	case "xeon-e5":
+		topo = ghost.XeonE5()
+	case "rome":
+		topo = ghost.AMDRome()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+	m := ghost.NewMachine(topo)
+	defer m.Shutdown()
+	if *trace {
+		m.Kernel().TraceFn = func(s string) { fmt.Println(s) }
+	}
+
+	if *cpus+1 > topo.NumCPUs() {
+		fmt.Fprintf(os.Stderr, "machine has only %d CPUs\n", topo.NumCPUs())
+		os.Exit(1)
+	}
+	var mask ghost.CPUMask
+	for i := 0; i <= *cpus; i++ {
+		mask.Set(ghost.CPUID(i))
+	}
+
+	rec := &workload.LatencyRecorder{WarmupUntil: sim.Duration(*dur) / 10}
+	var spawn func(name string, body ghost.ThreadFunc) *ghost.Thread
+	switch *sched {
+	case "cfs":
+		spawn = func(name string, body ghost.ThreadFunc) *ghost.Thread {
+			return m.SpawnThread(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
+		}
+	case "microquanta":
+		spawn = func(name string, body ghost.ThreadFunc) *ghost.Thread {
+			return m.SpawnMicroQuanta(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
+		}
+	case "ghost-fifo", "ghost-shinjuku":
+		enc := m.NewEnclave(mask)
+		if *sched == "ghost-fifo" {
+			m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
+		} else {
+			m.StartGlobalAgent(enc, ghost.NewShinjukuPolicy())
+		}
+		spawn = func(name string, body ghost.ThreadFunc) *ghost.Thread {
+			return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name}, body)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(1)
+	}
+
+	pool := workload.NewWorkerPool(m.Kernel(), *workers, rec, spawn)
+	var dist workload.ServiceDist = workload.Fixed(sim.Duration(*service))
+	if *bimodal {
+		dist = workload.RocksDBService()
+	}
+	workload.NewPoissonSource(m.Kernel().Engine(), sim.NewRand(*seed), *rate, dist, pool.Submit)
+
+	start := time.Now()
+	m.Run(sim.Duration(*dur))
+	fmt.Printf("machine=%s sched=%s rate=%.0f/s service=%v workers=%d cpus=%d simulated=%v (wall %v)\n",
+		*machine, *sched, *rate, *service, *workers, *cpus, *dur, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("completed: %d (%.0f req/s)\n", rec.Completed, rec.Throughput(m.Now()))
+	fmt.Printf("latency:   %s\n", rec.Hist.Percentiles())
+}

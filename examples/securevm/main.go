@@ -1,0 +1,70 @@
+// Secure VMs (§4.5): run 4 VMs x 8 vCPUs of CPU-bound work on 25
+// physical cores under CFS, in-kernel core scheduling, and the ghOSt
+// core-scheduling policy, counting cross-hyperthread isolation
+// violations (the L1TF/MDS attack surface).
+package main
+
+import (
+	"fmt"
+
+	"ghost"
+	"ghost/internal/baselines"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+	"ghost/internal/workload"
+)
+
+// kernelOpts builds spawn options for the in-kernel core-sched baseline,
+// which is a raw kernel class rather than a facade scheduler.
+func kernelOpts(name string, mask ghost.CPUMask, tag any, cs kernel.Class) kernel.SpawnOpts {
+	return kernel.SpawnOpts{Name: name, Class: cs, Affinity: mask, Tag: tag}
+}
+
+func run(scheduler string) (sim.Time, uint64) {
+	m := ghost.NewMachine(ghost.Skylake())
+	defer m.Shutdown()
+
+	var mask ghost.CPUMask
+	for i := 0; i < 25; i++ {
+		mask.Set(ghost.CPUID(i))
+		mask.Set(ghost.CPUID(i + 56))
+	}
+	checker := workload.NewIsolationChecker(m.Kernel(), 100*ghost.Microsecond)
+
+	const work = 30 * ghost.Millisecond
+	var set *workload.VMSet
+	switch scheduler {
+	case "cfs":
+		set = workload.NewVMSet(m.Kernel(), 4, 8, work, 500*ghost.Microsecond,
+			func(name string, tag any, body ghost.ThreadFunc) *ghost.Thread {
+				return m.SpawnThread(ghost.ThreadOpts{Name: name, Affinity: mask, Tag: tag}, body)
+			})
+	case "kernel-coresched":
+		cs := baselines.NewKernelCoreSched(m.Kernel(), workload.VMOf)
+		set = workload.NewVMSet(m.Kernel(), 4, 8, work, 500*ghost.Microsecond,
+			func(name string, tag any, body ghost.ThreadFunc) *ghost.Thread {
+				return m.Kernel().Spawn(kernelOpts(name, mask, tag, cs), body)
+			})
+	default: // ghost-coresched
+		enc := m.NewEnclave(mask)
+		m.StartGlobalAgent(enc, ghost.NewCoreSchedPolicy(workload.VMOf))
+		set = workload.NewVMSet(m.Kernel(), 4, 8, work, 500*ghost.Microsecond,
+			func(name string, tag any, body ghost.ThreadFunc) *ghost.Thread {
+				return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name, Affinity: mask, Tag: tag}, body)
+			})
+	}
+	m.Run(60 * work)
+	return set.Done, checker.Violations
+}
+
+func main() {
+	fmt.Println("4 VMs x 8 vCPUs, 30ms bwaves-like work each, on 25 cores / 50 CPUs:")
+	fmt.Printf("\n%-18s %14s %12s\n", "scheduler", "total time", "violations")
+	for _, s := range []string{"cfs", "kernel-coresched", "ghost-coresched"} {
+		done, viol := run(s)
+		fmt.Printf("%-18s %14v %12d\n", s, done, viol)
+	}
+	fmt.Println("\nBoth core schedulers keep sibling hyperthreads same-VM (0 violations)")
+	fmt.Println("for a few percent of throughput; ghOSt does it with synchronized group")
+	fmt.Println("commits from userspace (§4.5, Table 4).")
+}

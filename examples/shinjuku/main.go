@@ -1,0 +1,53 @@
+// Shinjuku-on-ghOSt (§4.2): serve the paper's dispersive RocksDB
+// workload (99.5% × 10 µs, 0.5% × 10 ms) with the preemptive centralized
+// Shinjuku policy, and contrast the tail with a non-preemptive FIFO.
+package main
+
+import (
+	"fmt"
+
+	"ghost"
+	"ghost/internal/sim"
+	"ghost/internal/workload"
+)
+
+func run(preemptive bool, rate float64) *workload.LatencyRecorder {
+	m := ghost.NewMachine(ghost.XeonE5())
+	defer m.Shutdown()
+
+	// Agent on CPU 0; 20 worker CPUs, as in the paper.
+	var mask ghost.CPUMask
+	for i := 0; i <= 20; i++ {
+		mask.Set(ghost.CPUID(i))
+	}
+	enc := m.NewEnclave(mask)
+	if preemptive {
+		m.StartGlobalAgent(enc, ghost.NewShinjukuPolicy()) // 30 µs slices
+	} else {
+		m.StartGlobalAgent(enc, ghost.NewFIFOPolicy()) // run to completion
+	}
+
+	rec := &workload.LatencyRecorder{WarmupUntil: 100 * sim.Millisecond}
+	pool := workload.NewWorkerPool(m.Kernel(), 200, rec, func(name string, body ghost.ThreadFunc) *ghost.Thread {
+		return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name}, body)
+	})
+	workload.NewPoissonSource(m.Kernel().Engine(), sim.NewRand(7), rate,
+		workload.RocksDBService(), pool.Submit)
+
+	m.Run(ghost.Second)
+	return rec
+}
+
+func main() {
+	const rate = 280000
+	fmt.Printf("RocksDB bimodal workload at %d req/s on 20 CPUs:\n\n", int(rate))
+	pre := run(true, rate)
+	fifo := run(false, rate)
+	fmt.Printf("%-22s %12s %12s %12s\n", "policy", "p50", "p99", "p99.9")
+	fmt.Printf("%-22s %12v %12v %12v\n", "shinjuku (30us slice)",
+		pre.Hist.P50(), pre.Hist.P99(), pre.Hist.P999())
+	fmt.Printf("%-22s %12v %12v %12v\n", "fifo (no preemption)",
+		fifo.Hist.P50(), fifo.Hist.P99(), fifo.Hist.P999())
+	fmt.Println("\nPreemption keeps short requests from waiting behind 10ms monsters —")
+	fmt.Println("the Shinjuku result, in ~300 lines of userspace policy (§4.2).")
+}

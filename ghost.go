@@ -1,0 +1,152 @@
+// Package ghost is a from-scratch Go reproduction of "ghOSt: Fast &
+// Flexible User-Space Delegation of Linux Scheduling" (SOSP 2021): the
+// ghOSt kernel scheduling class, enclaves, message queues, transactions,
+// and the userspace agent/policy framework, running on a deterministic
+// discrete-event machine simulator so that every result of the paper's
+// evaluation can be regenerated on a laptop.
+//
+// The package is a facade: construct a Machine, partition CPUs into an
+// Enclave, start agents with a scheduling Policy, spawn threads, and run
+// simulated time.
+//
+//	m := ghost.NewMachine(ghost.Skylake())
+//	defer m.Shutdown()
+//	enc := m.NewEnclave(m.AllCPUs())
+//	m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
+//	enc.SpawnThread(ghost.ThreadOpts{Name: "worker"}, func(tc *ghost.Task) {
+//	    tc.Run(10 * ghost.Microsecond)
+//	})
+//	m.Run(ghost.Millisecond)
+//
+// Everything the paper's evaluation needs is re-exported here: machine
+// topologies (§4.1), the policies of §4.2-4.5, the baseline schedulers,
+// workload generators, and the experiment harness for each table/figure.
+package ghost
+
+import (
+	"ghost/internal/agentsdk"
+	"ghost/internal/ghostcore"
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+	"ghost/internal/stats"
+)
+
+// Re-exported simulated-time types and units.
+type (
+	// Time is a point in simulated time (nanoseconds).
+	Time = sim.Time
+	// Duration is a span of simulated time (nanoseconds).
+	Duration = sim.Duration
+)
+
+// Simulated-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Topology and CPU identification.
+type (
+	// Topology describes a machine's sockets, CCXs, cores and SMT.
+	Topology = hw.Topology
+	// TopologyConfig builds custom machines.
+	TopologyConfig = hw.Config
+	// CPUID identifies a logical CPU.
+	CPUID = hw.CPUID
+	// CostModel holds the nanosecond costs of scheduling operations.
+	CostModel = hw.CostModel
+)
+
+// Machine presets from the paper's evaluation.
+var (
+	// Skylake is the 2-socket, 112-CPU Xeon of §4.1/§4.3/§4.5.
+	Skylake = hw.SkylakeDefault
+	// Haswell is the 72-CPU machine of Fig 5.
+	Haswell = hw.Haswell
+	// XeonE5 is the 48-CPU machine of the §4.2 Shinjuku comparison.
+	XeonE5 = hw.XeonE5
+	// AMDRome is the 256-CPU Search machine of §4.4.
+	AMDRome = hw.AMDRome
+	// NewTopology builds a custom machine.
+	NewTopology = hw.NewTopology
+	// DefaultCostModel is the Table 3-anchored cost model.
+	DefaultCostModel = hw.DefaultCostModel
+)
+
+// Kernel-side types.
+type (
+	// Thread is a simulated native thread.
+	Thread = kernel.Thread
+	// Task is the context a thread body uses to run/block/yield.
+	Task = kernel.TaskContext
+	// ThreadFunc is a thread body.
+	ThreadFunc = kernel.ThreadFunc
+	// CPUMask selects sets of CPUs.
+	CPUMask = kernel.Mask
+	// TID identifies a thread.
+	TID = kernel.TID
+)
+
+// MaskOf builds a CPU mask from ids; MaskAll covers CPUs 0..n-1.
+var (
+	MaskOf  = kernel.MaskOf
+	MaskAll = kernel.MaskAll
+)
+
+// ghOSt core types (the paper's primary contribution).
+type (
+	// Enclave is a CPU partition managed by one policy (§3, Fig 2).
+	Enclave = ghostcore.Enclave
+	// Message is a kernel-to-agent notification (Table 1).
+	Message = ghostcore.Message
+	// MsgType enumerates message kinds.
+	MsgType = ghostcore.MsgType
+	// Txn is a scheduling transaction (§3.2).
+	Txn = ghostcore.Txn
+	// TxnStatus is a transaction outcome.
+	TxnStatus = ghostcore.TxnStatus
+	// StatusWord is the shared-memory scheduling state word (§3.1).
+	StatusWord = ghostcore.StatusWord
+	// BPFProgram is the idle-time fastpath hook (§3.2).
+	BPFProgram = ghostcore.BPFProgram
+)
+
+// Message types (Table 1).
+const (
+	MsgThreadCreated   = ghostcore.MsgThreadCreated
+	MsgThreadBlocked   = ghostcore.MsgThreadBlocked
+	MsgThreadPreempted = ghostcore.MsgThreadPreempted
+	MsgThreadYield     = ghostcore.MsgThreadYield
+	MsgThreadDead      = ghostcore.MsgThreadDead
+	MsgThreadWakeup    = ghostcore.MsgThreadWakeup
+	MsgThreadAffinity  = ghostcore.MsgThreadAffinity
+	MsgTimerTick       = ghostcore.MsgTimerTick
+)
+
+// Transaction statuses.
+const (
+	TxnCommitted         = ghostcore.TxnCommitted
+	TxnESTALE            = ghostcore.TxnESTALE
+	TxnCPUNotAvail       = ghostcore.TxnCPUNotAvail
+	TxnThreadNotRunnable = ghostcore.TxnThreadNotRunnable
+)
+
+// Agent/policy framework types.
+type (
+	// GlobalPolicy is a centralized scheduling policy (§3.3).
+	GlobalPolicy = agentsdk.GlobalPolicy
+	// PerCPUPolicy is a per-CPU scheduling policy (§3.2).
+	PerCPUPolicy = agentsdk.PerCPUPolicy
+	// PolicyContext gives policies access to enclave state.
+	PolicyContext = agentsdk.Context
+	// Assignment is one thread-to-CPU decision.
+	Assignment = agentsdk.Assignment
+	// AgentSet is one running generation of agents.
+	AgentSet = agentsdk.AgentSet
+)
+
+// Histogram records latency distributions.
+type Histogram = stats.Histogram

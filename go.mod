@@ -1,0 +1,3 @@
+module ghost
+
+go 1.22

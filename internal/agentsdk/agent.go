@@ -1,0 +1,502 @@
+// Package agentsdk is the userspace half of ghOSt: the support library
+// that agents are written against (the paper's "ghOSt Userspace Support
+// Library"). It runs scheduling policies inside agent threads, pumps
+// kernel messages to them, commits their decisions as transactions, and
+// implements the centralized model's hot handoff and the per-CPU model's
+// local commit loop.
+package agentsdk
+
+import (
+	"sort"
+
+	"ghost/internal/ghostcore"
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+	"ghost/internal/stats"
+)
+
+// Assignment is one scheduling decision of a centralized policy: run
+// Thread on CPU.
+type Assignment struct {
+	Thread *kernel.Thread
+	CPU    hw.CPUID
+	// NoSeqCheck disables the Tseq staleness check for this transaction
+	// (policies normally leave it false, matching §3.3).
+	NoSeqCheck bool
+	// Group, when non-zero, marks assignments that must commit
+	// atomically with every other assignment sharing the same Group id
+	// (the §4.5 synchronized per-core group commit).
+	Group int
+}
+
+// GlobalPolicy is the interface of a centralized (single global agent)
+// scheduling policy (§3.3, Fig 4).
+type GlobalPolicy interface {
+	// Attach is called once when the policy takes over an enclave; it
+	// rebuilds any state from ctx.Enclave (used for in-place upgrades).
+	Attach(ctx *Context)
+	// OnMessage processes one kernel message.
+	OnMessage(ctx *Context, m ghostcore.Message)
+	// Schedule maps runnable threads to CPUs. Called after messages are
+	// drained and whenever capacity changes.
+	Schedule(ctx *Context) []Assignment
+	// OnTxnFail is invoked for each assignment whose transaction did not
+	// commit, so the policy can re-enqueue the thread.
+	OnTxnFail(ctx *Context, a Assignment, status ghostcore.TxnStatus)
+}
+
+// PerCPUPolicy is the interface of a per-CPU scheduling policy (§3.2,
+// Fig 3): each CPU's agent picks the next thread for its own CPU.
+type PerCPUPolicy interface {
+	// Attach is called once when the policy takes over the enclave.
+	Attach(ctx *Context)
+	// AssignCPU places a newly created thread on a CPU (its message
+	// queue is associated with that CPU's agent).
+	AssignCPU(ctx *Context, t *kernel.Thread) hw.CPUID
+	// OnMessage processes one message routed to cpu's queue.
+	OnMessage(ctx *Context, cpu hw.CPUID, m ghostcore.Message)
+	// PickNext chooses the thread to run on cpu, nil to idle.
+	PickNext(ctx *Context, cpu hw.CPUID) *kernel.Thread
+	// OnTxnFail reports a failed local commit.
+	OnTxnFail(ctx *Context, cpu hw.CPUID, t *kernel.Thread, status ghostcore.TxnStatus)
+}
+
+// Context gives policies access to enclave state and agent facilities.
+type Context struct {
+	set     *AgentSet
+	Enclave *ghostcore.Enclave
+	Kernel  *kernel.Kernel
+}
+
+// Now returns the current simulated time.
+func (c *Context) Now() sim.Time { return c.Kernel.Now() }
+
+// Topology returns the machine topology.
+func (c *Context) Topology() *hw.Topology { return c.Kernel.Topology() }
+
+// IsIdle reports whether cpu is idle (no thread at all).
+func (c *Context) IsIdle(cpu hw.CPUID) bool { return c.Kernel.CPU(cpu).Idle() }
+
+// IdleCPUs returns the enclave's idle CPUs (GetIdleCPUs() in Fig 4).
+// CPUs with a committed-but-not-yet-installed transaction are excluded:
+// re-assigning them would displace the in-flight commit.
+func (c *Context) IdleCPUs() []hw.CPUID {
+	var out []hw.CPUID
+	c.Enclave.CPUs().ForEach(func(id hw.CPUID) bool {
+		if c.Kernel.CPU(id).Idle() && c.Enclave.LatchedFor(id) == nil {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// GlobalCPU returns the CPU the active global agent runs on, hw.NoCPU in
+// per-CPU mode.
+func (c *Context) GlobalCPU() hw.CPUID { return c.set.globalCPU }
+
+// RepollAfter schedules the agent to run again after d even without new
+// messages; preemptive policies (e.g. Shinjuku's 30 µs timeslice) use
+// this as their virtual timer.
+func (c *Context) RepollAfter(d sim.Duration) {
+	set := c.set
+	c.Kernel.Engine().After(d, func() { set.pokeActive() })
+}
+
+// Thread resolves a TID to the kernel thread, nil if gone.
+func (c *Context) Thread(tid kernel.TID) *kernel.Thread { return c.Kernel.Thread(tid) }
+
+// MoveThread re-routes a thread's messages to cpu's agent queue (per-CPU
+// model work-stealing, §3.1). It retries the drain-and-reassociate
+// protocol once and reports success.
+func (c *Context) MoveThread(t *kernel.Thread, cpu hw.CPUID) bool {
+	set := c.set
+	r, ok := set.runners[cpu]
+	if !ok {
+		return false
+	}
+	if err := c.Enclave.AssociateQueue(t, r.queue); err != nil {
+		return false
+	}
+	set.threadCPU[t.TID()] = cpu
+	set.nudge(r)
+	return true
+}
+
+// nudge wakes a blocked agent or pokes a running one.
+func (set *AgentSet) nudge(r *runner) {
+	if r.thread.State() == kernel.StateBlocked {
+		set.k.Wake(r.thread)
+	} else {
+		set.k.Poke(r.thread)
+	}
+}
+
+// AgentSet is one generation of agents attached to an enclave: one agent
+// thread per enclave CPU, of which (in centralized mode) one is the
+// active global agent and the rest are inactive handoff targets.
+type AgentSet struct {
+	k   *kernel.Kernel
+	enc *ghostcore.Enclave
+	ac  *kernel.AgentClass
+	ctx *Context
+
+	global  GlobalPolicy
+	percpu  PerCPUPolicy
+	runners map[hw.CPUID]*runner
+
+	globalCPU   hw.CPUID // active global agent home, NoCPU in per-CPU mode
+	globalQueue *ghostcore.Queue
+	threadCPU   map[kernel.TID]hw.CPUID // per-CPU mode thread placement
+
+	stopped bool
+
+	// Stats.
+	MsgDelivery   stats.Histogram // enqueue-to-drain latency
+	Handoffs      uint64
+	StepsExecuted uint64
+	TxnsCommitted uint64
+	TxnsFailed    uint64
+}
+
+// runner is one agent thread (a kernel Stepper).
+type runner struct {
+	set    *AgentSet
+	cpu    hw.CPUID
+	thread *kernel.Thread
+	agent  *ghostcore.Agent
+	queue  *ghostcore.Queue // per-CPU queue (per-CPU mode only)
+}
+
+// StartCentralized launches a centralized agent set: a global agent on
+// the first enclave CPU polling a single global queue, plus inactive
+// agents on every other CPU for hot handoff (§3.3).
+func StartCentralized(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy GlobalPolicy) *AgentSet {
+	set := newSet(k, enc, ac)
+	set.global = policy
+	// The default queue is the single global queue (Fig 2 right): every
+	// managed thread posts there and the spinning global agent drains it.
+	set.globalQueue = enc.DefaultQueue()
+	first := enc.CPUs().CPUs()[0]
+	set.globalCPU = first
+	enc.ConfigQueueWakeup(set.globalQueue, set.runners[first].agent, true)
+	policy.Attach(set.ctx)
+	// Wake the global agent to start spinning.
+	k.Wake(set.runners[first].thread)
+	// Poke the agent whenever enclave CPUs go idle or feel CFS pressure.
+	k.AddIdleHook(func(c *kernel.CPU) {
+		if !set.stopped && enc.CPUs().Has(c.ID) && !enc.Destroyed() {
+			set.pokeActive()
+		}
+	})
+	k.AddPressureHook(func(c *kernel.CPU, incoming *kernel.Thread) {
+		// Only non-ghOSt work (CFS, MicroQuanta daemons, ...) justifies
+		// vacating the agent's CPU; ghOSt threads run wherever the
+		// policy puts them.
+		if incoming.Class().Priority() > kernel.PrioGhost {
+			set.onPressure(c)
+		}
+	})
+	return set
+}
+
+// StartPerCPU launches a per-CPU agent set: one agent and one message
+// queue per enclave CPU (§3.2, Fig 2 left).
+func StartPerCPU(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy PerCPUPolicy) *AgentSet {
+	set := newSet(k, enc, ac)
+	set.percpu = policy
+	set.globalCPU = hw.NoCPU
+	for _, r := range set.runners {
+		r.queue = enc.CreateQueue("cpu-queue")
+		enc.ConfigQueueWakeup(r.queue, r.agent, true)
+	}
+	// New-thread routing: the default queue wakes the first CPU's agent,
+	// which assigns threads to CPUs.
+	first := enc.CPUs().CPUs()[0]
+	enc.ConfigQueueWakeup(enc.DefaultQueue(), set.runners[first].agent, true)
+	policy.Attach(set.ctx)
+	return set
+}
+
+func newSet(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass) *AgentSet {
+	set := &AgentSet{
+		k: k, enc: enc, ac: ac,
+		runners:   make(map[hw.CPUID]*runner),
+		threadCPU: make(map[kernel.TID]hw.CPUID),
+	}
+	set.ctx = &Context{set: set, Enclave: enc, Kernel: k}
+	enc.CPUs().ForEach(func(cpu hw.CPUID) bool {
+		r := &runner{set: set, cpu: cpu}
+		r.thread = k.SpawnStepper(kernel.SpawnOpts{
+			Name:     "ghost-agent",
+			Class:    ac,
+			Affinity: kernel.MaskOf(cpu),
+		}, r)
+		r.agent = enc.AttachAgent(cpu, r.thread)
+		set.runners[cpu] = r
+		return true
+	})
+	return set
+}
+
+// Stop detaches and kills this agent generation, announcing an upgrade so
+// the enclave survives (§3.4). A successor can then StartCentralized /
+// StartPerCPU on the same enclave.
+func (set *AgentSet) Stop() {
+	set.stopped = true
+	set.enc.BeginUpgrade()
+	for _, r := range set.runners {
+		set.enc.DetachAgent(r.agent)
+		set.k.Kill(r.thread)
+	}
+}
+
+// Crash kills the agents without announcing an upgrade: the enclave falls
+// back to the default scheduler, as for a real agent crash (§3.4).
+func (set *AgentSet) Crash() {
+	set.stopped = true
+	for _, r := range set.runners {
+		set.k.Kill(r.thread)
+		set.enc.DetachAgent(r.agent)
+	}
+}
+
+// pokeActive nudges the active global agent.
+func (set *AgentSet) pokeActive() {
+	if set.stopped || set.globalCPU == hw.NoCPU {
+		return
+	}
+	if r, ok := set.runners[set.globalCPU]; ok {
+		set.k.Poke(r.thread)
+	}
+}
+
+// onPressure implements the hot handoff (§3.3): when a CFS thread needs
+// the global agent's CPU, move the global role to an inactive agent on an
+// idle CPU and release this one.
+func (set *AgentSet) onPressure(c *kernel.CPU) {
+	if set.stopped || set.globalCPU == hw.NoCPU || c.ID != set.globalCPU {
+		return
+	}
+	var target hw.CPUID = hw.NoCPU
+	set.enc.CPUs().ForEach(func(id hw.CPUID) bool {
+		if id != set.globalCPU && set.k.CPU(id).Idle() {
+			target = id
+			return false
+		}
+		return true
+	})
+	if target == hw.NoCPU {
+		return // nowhere to go; CFS must wait (machine saturated)
+	}
+	old := set.runners[set.globalCPU]
+	set.globalCPU = target
+	set.Handoffs++
+	next := set.runners[target]
+	set.enc.ConfigQueueWakeup(set.globalQueue, next.agent, true)
+	set.k.Wake(next.thread)
+	// The old agent notices it is inactive at its next step and blocks;
+	// poke it so that happens now.
+	set.k.Poke(old.thread)
+}
+
+// Step implements kernel.Stepper: dispatch to the mode-specific loop.
+func (r *runner) Step(now sim.Time) (sim.Duration, kernel.Disposition) {
+	set := r.set
+	if set.stopped || set.enc.Destroyed() {
+		return 0, kernel.DispExit
+	}
+	set.StepsExecuted++
+	if set.globalCPU != hw.NoCPU {
+		if r.cpu != set.globalCPU {
+			// Inactive agent: vacate the CPU immediately (§3.3).
+			return 0, kernel.DispBlock
+		}
+		return r.globalStep(now)
+	}
+	return r.localStep(now)
+}
+
+// drain consumes a queue, charging per-message cost and recording
+// delivery latency.
+func (r *runner) drain(q *ghostcore.Queue, now sim.Time) ([]ghostcore.Message, sim.Duration) {
+	cm := r.set.k.Cost()
+	msgs := q.Drain()
+	cost := sim.Duration(len(msgs)) * cm.MsgDequeue
+	for _, m := range msgs {
+		// Delivery latency in the Table 3 sense: producing the message,
+		// any wakeup/propagation delay, and consuming it.
+		r.set.MsgDelivery.Record(now - m.Posted + cm.MsgEnqueue + cm.MsgDequeue)
+	}
+	return msgs, cost
+}
+
+// globalStep is the centralized scheduling loop (Fig 4).
+func (r *runner) globalStep(now sim.Time) (sim.Duration, kernel.Disposition) {
+	set := r.set
+	cm := set.k.Cost()
+	cost := cm.AgentLoopOverhead
+
+	msgs, c1 := r.drain(set.globalQueue, now)
+	cost += c1
+	for _, m := range msgs {
+		set.global.OnMessage(set.ctx, m)
+	}
+
+	asgs := set.global.Schedule(set.ctx)
+	if len(asgs) > 0 {
+		var plain []*ghostcore.Txn
+		var plainAsg []Assignment
+		groups := make(map[int][]*ghostcore.Txn)
+		groupAsg := make(map[int][]Assignment)
+		n := 0
+		for _, a := range asgs {
+			if a.Thread == nil || a.CPU == set.globalCPU {
+				continue
+			}
+			txn := set.enc.TxnCreate(a.Thread.TID(), a.CPU)
+			if !a.NoSeqCheck {
+				txn.ThreadSeq = set.enc.ThreadSeq(a.Thread)
+			}
+			n++
+			if a.Group != 0 {
+				groups[a.Group] = append(groups[a.Group], txn)
+				groupAsg[a.Group] = append(groupAsg[a.Group], a)
+			} else {
+				plain = append(plain, txn)
+				plainAsg = append(plainAsg, a)
+			}
+		}
+		if n > 0 {
+			cost += cm.Syscall + cm.RemoteCommitAgentCost(n)
+			if len(plain) > 0 {
+				set.enc.TxnsCommit(r.agent, plain)
+				set.reportTxns(plain, plainAsg)
+			}
+			gids := make([]int, 0, len(groups))
+			for gid := range groups {
+				gids = append(gids, gid)
+			}
+			sort.Ints(gids) // deterministic commit order
+			for _, gid := range gids {
+				set.enc.TxnsCommitAtomic(r.agent, groups[gid])
+				set.reportTxns(groups[gid], groupAsg[gid])
+			}
+		}
+	}
+	return cost, kernel.DispSpin
+}
+
+// reportTxns tallies commit outcomes and routes failures to the policy.
+func (set *AgentSet) reportTxns(txns []*ghostcore.Txn, asgs []Assignment) {
+	for i, txn := range txns {
+		if txn.Status == ghostcore.TxnCommitted {
+			set.TxnsCommitted++
+		} else {
+			set.TxnsFailed++
+			set.global.OnTxnFail(set.ctx, asgs[i], txn.Status)
+		}
+	}
+}
+
+// PreemptCPU exposes the enclave preemption op to policies.
+func (c *Context) PreemptCPU(cpu hw.CPUID) { c.Enclave.PreemptCPU(cpu) }
+
+// localStep is the per-CPU scheduling loop (Fig 3).
+func (r *runner) localStep(now sim.Time) (sim.Duration, kernel.Disposition) {
+	set := r.set
+	cm := set.k.Cost()
+	cost := cm.AgentLoopOverhead
+	aseq := r.agent.Seq()
+
+	// The first CPU's agent also drains the default queue, assigning
+	// new threads to CPUs.
+	if r.cpu == set.enc.CPUs().CPUs()[0] {
+		dmsgs, dc := r.drain(set.enc.DefaultQueue(), now)
+		cost += dc
+		for _, m := range dmsgs {
+			if m.Type == ghostcore.MsgThreadCreated {
+				if t := set.k.Thread(m.TID); t != nil {
+					cpu := set.percpu.AssignCPU(set.ctx, t)
+					if tr, ok := set.runners[cpu]; ok {
+						_ = set.enc.AssociateQueue(t, tr.queue)
+						set.threadCPU[m.TID] = cpu
+						set.percpu.OnMessage(set.ctx, cpu, m)
+						if cpu != r.cpu {
+							set.nudge(tr)
+						}
+						continue
+					}
+				}
+			}
+			// Route trailing messages (e.g. the wakeup that accompanied
+			// creation) to the thread's assigned CPU.
+			cpu := r.cpu
+			if c, ok := set.threadCPU[m.TID]; ok {
+				cpu = c
+			}
+			set.percpu.OnMessage(set.ctx, cpu, m)
+			if cpu != r.cpu {
+				set.nudge(set.runners[cpu])
+			}
+		}
+	}
+
+	msgs, mc := r.drain(r.queue, now)
+	cost += mc
+	for _, m := range msgs {
+		set.percpu.OnMessage(set.ctx, r.cpu, m)
+	}
+
+	if set.enc.LatchedFor(r.cpu) != nil {
+		// A previous commit has not switched in yet (the agent was
+		// re-woken before yielding); let it take effect.
+		return cost, kernel.DispBlock
+	}
+
+	next := set.percpu.PickNext(set.ctx, r.cpu)
+	if next == nil {
+		return cost, kernel.DispBlock
+	}
+	txn := set.enc.TxnCreate(next.TID(), r.cpu)
+	txn.AgentSeq = aseq
+	// Local commit: validation plus the local dispatch path; together
+	// with the context switch this reproduces Table 3 line 3 (888 ns).
+	cost += cm.LocalSchedule - cm.ContextSwitchMinimal
+	set.enc.TxnsCommit(r.agent, []*ghostcore.Txn{txn})
+	switch txn.Status {
+	case ghostcore.TxnCommitted:
+		set.TxnsCommitted++
+		// Yield the CPU to the committed thread.
+		return cost, kernel.DispBlock
+	case ghostcore.TxnESTALE:
+		set.TxnsFailed++
+		// Newer messages arrived: drain and retry (§3.2).
+		return cost, kernel.DispAgain
+	default:
+		set.TxnsFailed++
+		set.percpu.OnTxnFail(set.ctx, r.cpu, next, txn.Status)
+		return cost, kernel.DispAgain
+	}
+}
+
+// GlobalAgentThread returns the active global agent's kernel thread (for
+// tests and experiments).
+func (set *AgentSet) GlobalAgentThread() *kernel.Thread {
+	if set.globalCPU == hw.NoCPU {
+		return nil
+	}
+	return set.runners[set.globalCPU].thread
+}
+
+// Runner returns the agent thread pinned to cpu.
+func (set *AgentSet) Runner(cpu hw.CPUID) *kernel.Thread {
+	if r, ok := set.runners[cpu]; ok {
+		return r.thread
+	}
+	return nil
+}
+
+// Ctx exposes the policy context (for tests).
+func (set *AgentSet) Ctx() *Context { return set.ctx }

@@ -1,0 +1,53 @@
+// Package core anchors the paper's primary contribution in the layout
+// required by the repository template: it re-exports the ghOSt kernel
+// scheduling class (internal/ghostcore) and the userspace agent SDK
+// (internal/agentsdk) under one roof. New code should import those
+// packages (or the public facade, package ghost) directly.
+package core
+
+import (
+	"ghost/internal/agentsdk"
+	"ghost/internal/ghostcore"
+)
+
+// Kernel-side ghOSt (scheduling class, enclaves, messages, transactions).
+type (
+	// Class is the ghOSt kernel scheduling class.
+	Class = ghostcore.Class
+	// Enclave is a CPU partition running one policy.
+	Enclave = ghostcore.Enclave
+	// Agent is the kernel-side handle of an attached agent.
+	Agent = ghostcore.Agent
+	// Queue is a kernel-to-agent message queue.
+	Queue = ghostcore.Queue
+	// Message is one kernel-to-agent notification.
+	Message = ghostcore.Message
+	// Txn is a scheduling transaction.
+	Txn = ghostcore.Txn
+	// StatusWord is the shared-memory state word.
+	StatusWord = ghostcore.StatusWord
+)
+
+// Userspace ghOSt (agents and policies).
+type (
+	// AgentSet is one running generation of agents.
+	AgentSet = agentsdk.AgentSet
+	// GlobalPolicy is a centralized policy.
+	GlobalPolicy = agentsdk.GlobalPolicy
+	// PerCPUPolicy is a per-CPU policy.
+	PerCPUPolicy = agentsdk.PerCPUPolicy
+	// Context is the policy execution context.
+	Context = agentsdk.Context
+)
+
+// Constructors.
+var (
+	// NewClass registers the ghOSt class with a kernel.
+	NewClass = ghostcore.NewClass
+	// NewEnclave partitions CPUs into an enclave.
+	NewEnclave = ghostcore.NewEnclave
+	// StartCentralized launches a centralized agent set.
+	StartCentralized = agentsdk.StartCentralized
+	// StartPerCPU launches a per-CPU agent set.
+	StartPerCPU = agentsdk.StartPerCPU
+)

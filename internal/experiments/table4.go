@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ghost/internal/baselines"
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/policies"
+	"ghost/internal/sim"
+	"ghost/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table4",
+		Title: "Secure VM core scheduling (Table 4)",
+		Run:   runTable4,
+	})
+}
+
+// runTable4 reproduces Table 4: a bwaves-like CPU-bound workload of 32
+// vCPUs (4 VMs x 8) on 25 physical cores / 50 logical CPUs under three
+// schedulers: CFS (fast, no isolation), in-kernel core scheduling, and
+// the ghOSt core-scheduling policy. Reported: completion time, a
+// SPEC-style rate (work/time), and sampled cross-VM sibling violations.
+func runTable4(o Options) *Report {
+	rep := &Report{
+		ID: "table4", Title: "Secure VM core scheduling",
+		Header: []string{"scheduler", "rate", "total time(ms)", "violations", "paper(rate/time)"},
+	}
+	work := 60 * sim.Millisecond
+	if o.Quick {
+		work = 15 * sim.Millisecond
+	}
+	paper := map[string]string{
+		"cfs":              "489 / 888s",
+		"kernel-coresched": "464 / 937s",
+		"ghost-coresched":  "468 / 929s",
+	}
+	var cfsMean sim.Duration
+	for _, scheduler := range []string{"cfs", "kernel-coresched", "ghost-coresched"} {
+		elapsed, mean, violations := table4Run(scheduler, work, o)
+		if scheduler == "cfs" {
+			cfsMean = mean
+		}
+		// SPEC-rate-style metric (throughput ∝ 1/mean completion),
+		// scaled so CFS lands at the paper's 489.
+		rate := 489 * float64(cfsMean) / float64(mean)
+		rep.AddRow(scheduler, fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.1f", float64(elapsed)/float64(sim.Millisecond)),
+			itoa(int(violations)), paper[scheduler])
+	}
+	rep.Notef("expected shape: CFS fastest but with cross-VM sibling violations; both " +
+		"core schedulers pay a small (~5%%) throughput cost and have zero violations; " +
+		"ghOSt within ~1%% of the in-kernel implementation")
+	return rep
+}
+
+// table4Run executes the workload under one scheduler and returns
+// (completion time, mean vCPU completion, isolation violations).
+func table4Run(scheduler string, work sim.Duration, o Options) (sim.Duration, sim.Duration, uint64) {
+	topo := hw.SkylakeDefault()
+	// 25 physical cores / 50 logical CPUs (§4.5): cores 0..24 of
+	// socket 0 plus their siblings.
+	var cpus []hw.CPUID
+	for i := 0; i < 25; i++ {
+		cpus = append(cpus, hw.CPUID(i))
+	}
+	for i := 56; i < 81; i++ {
+		cpus = append(cpus, hw.CPUID(i))
+	}
+	mask := kernel.MaskOf(cpus...)
+
+	useGhost := scheduler == "ghost-coresched"
+	m := newMachine(machineOpts{topo: topo, ghost: useGhost})
+	defer m.k.Shutdown()
+	ic := workload.NewIsolationChecker(m.k, 100*sim.Microsecond)
+
+	const chunk = 500 * sim.Microsecond
+	var set *workload.VMSet
+	switch scheduler {
+	case "cfs":
+		set = workload.NewVMSet(m.k, 4, 8, work, chunk,
+			func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread {
+				return m.k.Spawn(kernel.SpawnOpts{Name: name, Class: m.cfs, Affinity: mask, Tag: tag}, body)
+			})
+	case "kernel-coresched":
+		cs := baselines.NewKernelCoreSched(m.k, workload.VMOf)
+		set = workload.NewVMSet(m.k, 4, 8, work, chunk,
+			func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread {
+				return m.k.Spawn(kernel.SpawnOpts{Name: name, Class: cs, Affinity: mask, Tag: tag}, body)
+			})
+	default:
+		enc := m.enclaveOn(cpus...)
+		pol := policies.NewCoreSched(workload.VMOf)
+		m.startCentral(enc, pol)
+		set = workload.NewVMSet(m.k, 4, 8, work, chunk,
+			func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread {
+				return enc.SpawnThread(kernel.SpawnOpts{Name: name, Tag: tag}, body)
+			})
+	}
+	deadline := 60 * work
+	m.eng.RunFor(deadline)
+	if set.Done == 0 {
+		return deadline, deadline, ic.Violations // did not finish: report the cap
+	}
+	return set.Done, set.MeanCompletion(), ic.Violations
+}

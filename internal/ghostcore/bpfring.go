@@ -1,0 +1,110 @@
+package ghostcore
+
+import (
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+)
+
+// BPFRing is the shared-memory ring described in §3.2/§5: the agent
+// inserts runnable threads, and the kernel-side BPF program pops one when
+// a CPU idles before the agent's next scheduling loop, closing the
+// scheduling gap. The agent may revoke a thread before BPF schedules it.
+//
+// A ring is bounded; Push fails when full (the agent then keeps the
+// thread in its own runqueue). Multiple rings can be used, e.g. one per
+// NUMA node (§5), each serving the CPUs passed to NewBPFRing.
+type BPFRing struct {
+	enc  *Enclave
+	cpus kernel.Mask
+	buf  []*kernel.Thread
+	head int
+	n    int
+
+	// Pops counts successful idle-time picks served from this ring.
+	Pops uint64
+}
+
+// NewBPFRing creates a ring of the given capacity serving cpus (empty
+// mask = all enclave CPUs).
+func NewBPFRing(enc *Enclave, capacity int, cpus kernel.Mask) *BPFRing {
+	if capacity <= 0 {
+		panic("ghostcore: ring capacity must be positive")
+	}
+	if cpus.Empty() {
+		cpus = enc.CPUs()
+	}
+	return &BPFRing{enc: enc, cpus: cpus, buf: make([]*kernel.Thread, capacity)}
+}
+
+// Len returns the number of queued threads.
+func (r *BPFRing) Len() int { return r.n }
+
+// Push inserts a thread for idle-time scheduling; false when full.
+func (r *BPFRing) Push(t *kernel.Thread) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+	return true
+}
+
+// Revoke removes a thread the agent wants back (e.g. it decided to place
+// it itself); reports whether it was present.
+func (r *BPFRing) Revoke(t *kernel.Thread) bool {
+	for i := 0; i < r.n; i++ {
+		idx := (r.head + i) % len(r.buf)
+		if r.buf[idx] == t {
+			// Compact by shifting the tail down one slot.
+			for j := i; j < r.n-1; j++ {
+				a := (r.head + j) % len(r.buf)
+				b := (r.head + j + 1) % len(r.buf)
+				r.buf[a] = r.buf[b]
+			}
+			r.n--
+			return true
+		}
+	}
+	return false
+}
+
+// PickNextOnIdle implements BPFProgram: pop the first queued thread that
+// is still runnable and allowed on cpu.
+func (r *BPFRing) PickNextOnIdle(cpu hw.CPUID) *kernel.Thread {
+	if !r.cpus.Has(cpu) {
+		return nil
+	}
+	for r.n > 0 {
+		t := r.buf[r.head]
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		if t.State() == kernel.StateRunnable && t.Affinity().Has(cpu) {
+			if gt := gstate(t); gt != nil && gt.enc == r.enc && gt.runnable && !gt.latched {
+				r.Pops++
+				return t
+			}
+		}
+		// Stale entry (ran, blocked, died, or was latched elsewhere):
+		// drop and keep scanning.
+	}
+	return nil
+}
+
+// MultiRing fans PickNextOnIdle out to one ring per domain (e.g. per
+// NUMA node, §5): the first ring whose CPU set contains the idle CPU is
+// consulted.
+type MultiRing struct {
+	Rings []*BPFRing
+}
+
+// PickNextOnIdle implements BPFProgram.
+func (m *MultiRing) PickNextOnIdle(cpu hw.CPUID) *kernel.Thread {
+	for _, r := range m.Rings {
+		if r.cpus.Has(cpu) {
+			if t := r.PickNextOnIdle(cpu); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}

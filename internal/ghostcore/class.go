@@ -1,0 +1,342 @@
+package ghostcore
+
+import (
+	"fmt"
+
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+)
+
+// StatusWord is the shared-memory word exposing a thread's (or agent's)
+// scheduling state to userspace (§3.1). Agents read it without syscalls.
+type StatusWord struct {
+	Seq      uint64 // Tseq for threads, Aseq for agents
+	OnCPU    bool
+	Runnable bool
+	CPU      hw.CPUID
+}
+
+// ghostThread is the per-thread state of the ghOSt class, stored in
+// kernel.Thread.Ghost.
+type ghostThread struct {
+	enc           *Enclave
+	q             *Queue
+	tseq          uint64
+	sw            StatusWord
+	runnable      bool // runnable and waiting for an agent decision
+	latched       bool // committed by a transaction, switch-in pending
+	runnableSince sim.Time
+	pendingMsgs   int
+	hint          any // application scheduling hint (Fig 1)
+}
+
+// Class is the ghOSt kernel scheduling class. One instance serves the
+// whole machine; enclaves partition its CPUs (§3, Fig 2). It sits below
+// CFS in the class hierarchy, so any CFS thread preempts ghOSt threads
+// (§3.4), and ghOSt threads only ever run because an agent committed a
+// transaction for them (or the BPF fastpath did on the agent's behalf).
+type Class struct {
+	k        *kernel.Kernel
+	fallback kernel.Class // where threads go when an enclave dies
+
+	cpuOwner []*Enclave       // enclave owning each CPU, nil if none
+	slots    []*kernel.Thread // per-CPU latched thread (install done)
+	inflight []*kernel.Thread // per-CPU committed thread, IPI in flight
+
+	enclaves  []*Enclave
+	nextEncID int
+
+	// pendingEnclave routes ThreadAttached during Enclave.AddThread.
+	pendingEnclave *Enclave
+
+	// Stats.
+	MsgsPosted  uint64
+	TxnsOK      uint64
+	TxnsFailed  uint64
+	BPFCommits  uint64
+	Preemptions uint64
+}
+
+// NewClass creates and registers the ghOSt scheduling class. fallback is
+// the class threads revert to when their enclave is destroyed (CFS).
+func NewClass(k *kernel.Kernel, fallback kernel.Class) *Class {
+	g := &Class{
+		k:        k,
+		fallback: fallback,
+		cpuOwner: make([]*Enclave, k.NumCPUs()),
+		slots:    make([]*kernel.Thread, k.NumCPUs()),
+		inflight: make([]*kernel.Thread, k.NumCPUs()),
+	}
+	k.RegisterClass(g)
+	k.AddTickHook(g.onTick)
+	k.AddIdleHook(g.onIdle)
+	return g
+}
+
+// Kernel returns the owning kernel.
+func (g *Class) Kernel() *kernel.Kernel { return g.k }
+
+func gstate(t *kernel.Thread) *ghostThread {
+	gt, _ := t.Ghost.(*ghostThread)
+	return gt
+}
+
+// ghostOf is a helper for queues to find per-thread state by TID.
+func (e *Enclave) ghostOf(tid kernel.TID) *ghostThread {
+	t := e.k.Thread(tid)
+	if t == nil {
+		return nil
+	}
+	return gstate(t)
+}
+
+// Name implements kernel.Class.
+func (g *Class) Name() string { return "ghost" }
+
+// Priority implements kernel.Class: below CFS by design (§3.4).
+func (g *Class) Priority() int { return kernel.PrioGhost }
+
+// SwitchInCost implements kernel.Class.
+func (g *Class) SwitchInCost() sim.Duration { return g.k.Cost().ContextSwitchMinimal }
+
+// ThreadAttached implements kernel.Class: the thread joins the enclave
+// that is currently adding it and its creation is announced to the agent.
+func (g *Class) ThreadAttached(t *kernel.Thread) {
+	enc := g.pendingEnclave
+	if enc == nil {
+		panic("ghostcore: thread attached outside Enclave.AddThread")
+	}
+	gt := &ghostThread{enc: enc, q: enc.defaultQueue}
+	t.Ghost = gt
+	enc.threads[t.TID()] = t
+	g.postThreadMsg(t, MsgThreadCreated)
+}
+
+// ThreadDetached implements kernel.Class: the agent sees a departing
+// thread (death or move back to CFS) as THREAD_DEAD.
+func (g *Class) ThreadDetached(t *kernel.Thread, r kernel.DequeueReason) {
+	gt := gstate(t)
+	if gt == nil {
+		return
+	}
+	g.clearSlot(t)
+	g.postThreadMsg(t, MsgThreadDead)
+	delete(gt.enc.threads, t.TID())
+	gt.runnable = false
+	t.Ghost = nil
+}
+
+// postThreadMsg bumps Tseq and posts a message to the thread's queue.
+func (g *Class) postThreadMsg(t *kernel.Thread, mt MsgType) {
+	gt := gstate(t)
+	if gt == nil || gt.enc.destroyed {
+		return
+	}
+	gt.tseq++
+	gt.sw.Seq = gt.tseq
+	gt.sw.Runnable = gt.runnable
+	gt.sw.OnCPU = t.State() == kernel.StateRunning
+	gt.sw.CPU = t.OnCPU()
+	gt.pendingMsgs++
+	g.MsgsPosted++
+	gt.q.post(Message{
+		Type:     mt,
+		TID:      t.TID(),
+		Seq:      gt.tseq,
+		CPU:      t.LastCPU(),
+		Runnable: gt.runnable,
+	})
+}
+
+// Enqueue implements kernel.Class. Ghost threads are not held in a
+// kernel runqueue — runnable threads wait for an agent transaction — so
+// Enqueue only does state tracking and messaging.
+func (g *Class) Enqueue(t *kernel.Thread, cpu hw.CPUID, r kernel.EnqueueReason) {
+	gt := gstate(t)
+	if gt == nil {
+		return
+	}
+	first := !gt.runnable
+	gt.runnable = true
+	if first {
+		gt.runnableSince = g.k.Now()
+	}
+	switch r {
+	case kernel.EnqWake, kernel.EnqClassChange:
+		g.postThreadMsg(t, MsgThreadWakeup)
+	case kernel.EnqPreempt:
+		g.Preemptions++
+		g.postThreadMsg(t, MsgThreadPreempted)
+	case kernel.EnqYield:
+		g.postThreadMsg(t, MsgThreadYield)
+	}
+}
+
+// Dequeue implements kernel.Class.
+func (g *Class) Dequeue(t *kernel.Thread, r kernel.DequeueReason) {
+	gt := gstate(t)
+	if gt == nil {
+		return
+	}
+	gt.runnable = false
+	g.clearSlot(t)
+	if r == kernel.DeqBlock {
+		g.postThreadMsg(t, MsgThreadBlocked)
+	}
+}
+
+// clearSlot removes t from any latch slot it occupies.
+func (g *Class) clearSlot(t *kernel.Thread) {
+	gt := gstate(t)
+	if gt == nil || !gt.latched {
+		return
+	}
+	gt.latched = false
+	for i, s := range g.slots {
+		if s == t {
+			g.slots[i] = nil
+		}
+	}
+	for i, s := range g.inflight {
+		if s == t {
+			g.inflight[i] = nil
+		}
+	}
+}
+
+// Queued implements kernel.Class: only a latched transaction gives ghOSt
+// a claim on a CPU.
+func (g *Class) Queued(c *kernel.CPU) bool {
+	return g.slots[c.ID] != nil
+}
+
+// Eligible implements kernel.Class: ghOSt threads run to completion until
+// something preempts them.
+func (g *Class) Eligible(c *kernel.CPU, running *kernel.Thread) bool { return true }
+
+// PickNext implements kernel.Class: install the latched thread, demoting
+// (and notifying) a running ghOSt thread if the transaction preempts it.
+func (g *Class) PickNext(c *kernel.CPU, prev *kernel.Thread) *kernel.Thread {
+	s := g.slots[c.ID]
+	if s == nil {
+		return prev
+	}
+	if s == prev {
+		g.slots[c.ID] = nil
+		gstate(s).latched = false
+		return prev
+	}
+	if s.State() != kernel.StateRunnable || !s.Affinity().Has(c.ID) {
+		// The latched thread changed state between commit and install.
+		g.slots[c.ID] = nil
+		if gt := gstate(s); gt != nil {
+			gt.latched = false
+		}
+		return prev
+	}
+	g.slots[c.ID] = nil
+	gt := gstate(s)
+	gt.latched = false
+	gt.runnable = false
+	gt.sw.OnCPU = true
+	gt.sw.CPU = c.ID
+	if prev != nil {
+		// Transactional preemption of the running ghOSt thread (§3.3).
+		g.Enqueue(prev, c.ID, kernel.EnqPreempt)
+	}
+	return s
+}
+
+// SelectCPU implements kernel.Class: a nominal placement used only for
+// bookkeeping — ghOSt threads run where transactions put them.
+func (g *Class) SelectCPU(t *kernel.Thread) hw.CPUID {
+	gt := gstate(t)
+	if gt != nil {
+		if last := t.LastCPU(); last != hw.NoCPU && t.Affinity().Has(last) && gt.enc.cpus.Has(last) {
+			return last
+		}
+		inEnc := t.Affinity().And(gt.enc.cpus)
+		if !inEnc.Empty() {
+			return inEnc.CPUs()[0]
+		}
+	}
+	return t.Affinity().CPUs()[0]
+}
+
+// WantsPreempt implements kernel.Class.
+func (g *Class) WantsPreempt(c *kernel.CPU, curr, incoming *kernel.Thread) bool { return false }
+
+// Tick implements kernel.Class (per-thread tick; TIMER_TICK messages are
+// produced by the kernel tick hook instead).
+func (g *Class) Tick(c *kernel.CPU, t *kernel.Thread) {}
+
+// AffinityChanged implements kernel.Class: agents learn via
+// THREAD_AFFINITY (the sched_setaffinity flow of §3.3).
+func (g *Class) AffinityChanged(t *kernel.Thread) {
+	g.postThreadMsg(t, MsgThreadAffinity)
+}
+
+// onTick routes TIMER_TICK messages to the agent queue of the ticking
+// CPU (§3.1) when the enclave asked for them.
+func (g *Class) onTick(c *kernel.CPU) {
+	enc := g.cpuOwner[c.ID]
+	if enc == nil || enc.destroyed || !enc.DeliverTicks {
+		return
+	}
+	q := enc.tickQueue(c.ID)
+	if q != nil {
+		g.MsgsPosted++
+		q.post(Message{Type: MsgTimerTick, CPU: c.ID})
+	}
+}
+
+// onIdle is the BPF fastpath (§3.2): when a CPU in an enclave goes idle
+// with no latched transaction, the enclave's BPF program may commit a
+// thread immediately, closing the agent's scheduling gap.
+func (g *Class) onIdle(c *kernel.CPU) {
+	enc := g.cpuOwner[c.ID]
+	if enc == nil || enc.destroyed || enc.bpf == nil || g.slots[c.ID] != nil {
+		return
+	}
+	t := enc.bpf.PickNextOnIdle(c.ID)
+	if t == nil {
+		return
+	}
+	gt := gstate(t)
+	if gt == nil || gt.enc != enc || gt.latched || !gt.runnable ||
+		t.State() != kernel.StateRunnable || !t.Affinity().Has(c.ID) {
+		return
+	}
+	gt.latched = true
+	gt.runnable = false
+	g.slots[c.ID] = t
+	g.BPFCommits++
+	g.k.Resched(c.ID)
+}
+
+// enclaveByID returns the enclave with the given id, nil if destroyed.
+func (g *Class) enclaveByID(id int) *Enclave {
+	for _, e := range g.enclaves {
+		if e.id == id && !e.destroyed {
+			return e
+		}
+	}
+	return nil
+}
+
+// Enclaves returns the live enclaves.
+func (g *Class) Enclaves() []*Enclave {
+	var out []*Enclave
+	for _, e := range g.enclaves {
+		if !e.destroyed {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (g *Class) String() string {
+	return fmt.Sprintf("ghost{enclaves=%d msgs=%d txns=%d/%d}",
+		len(g.Enclaves()), g.MsgsPosted, g.TxnsOK, g.TxnsOK+g.TxnsFailed)
+}

@@ -1,0 +1,641 @@
+package ghostcore
+
+import (
+	"fmt"
+
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+)
+
+// BPFProgram is the interface of the agent-supplied program attached to
+// pick_next_task (§3.2): when a CPU idles with no pending transaction,
+// the kernel asks it for a thread to run. Implementations are typically
+// backed by a shared ring the agent keeps filled.
+type BPFProgram interface {
+	PickNextOnIdle(cpu hw.CPUID) *kernel.Thread
+}
+
+// Agent is the kernel-side handle of an attached userspace agent thread:
+// its CPU, its Aseq status word, and its queue association.
+type Agent struct {
+	enc    *Enclave
+	cpu    hw.CPUID
+	thread *kernel.Thread
+	queue  *Queue // queue this agent consumes (for TIMER_TICK routing)
+	aseq   uint64
+	sw     StatusWord
+
+	attached bool
+}
+
+// CPU returns the agent's home CPU.
+func (a *Agent) CPU() hw.CPUID { return a.cpu }
+
+// Thread returns the agent's kernel thread.
+func (a *Agent) Thread() *kernel.Thread { return a.thread }
+
+// Seq returns the agent's current Aseq, as read from its status word
+// (shared memory, no syscall).
+func (a *Agent) Seq() uint64 { return a.sw.Seq }
+
+// Enclave is a CPU partition running one scheduling policy (§3, Fig 2).
+type Enclave struct {
+	id   int
+	g    *Class
+	k    *kernel.Kernel
+	cpus kernel.Mask
+
+	defaultQueue *Queue
+	queues       []*Queue
+
+	threads map[kernel.TID]*kernel.Thread
+	agents  map[hw.CPUID]*Agent
+
+	bpf BPFProgram
+
+	// DeliverTicks enables TIMER_TICK message delivery (§3.1).
+	DeliverTicks bool
+
+	// WatchdogTimeout, when non-zero, destroys the enclave if a runnable
+	// thread goes unscheduled longer than this (§3.4).
+	WatchdogTimeout sim.Duration
+	watchdog        *sim.Ticker
+
+	// upgradePending suppresses the crash fallback while a new agent
+	// generation is waiting to take over (§3.4 dynamic upgrades).
+	upgradePending bool
+	tickless       bool
+
+	destroyed    bool
+	DestroyedFor string
+}
+
+// NewEnclave partitions the given CPUs into a new enclave. Panics if any
+// CPU already belongs to a live enclave.
+func NewEnclave(g *Class, cpus kernel.Mask) *Enclave {
+	if cpus.Empty() {
+		panic("ghostcore: enclave with no CPUs")
+	}
+	e := &Enclave{
+		id:      g.nextEncID,
+		g:       g,
+		k:       g.k,
+		cpus:    cpus,
+		threads: make(map[kernel.TID]*kernel.Thread),
+		agents:  make(map[hw.CPUID]*Agent),
+	}
+	g.nextEncID++
+	cpus.ForEach(func(c hw.CPUID) bool {
+		if g.cpuOwner[c] != nil {
+			panic(fmt.Sprintf("ghostcore: cpu %d already in enclave %d", c, g.cpuOwner[c].id))
+		}
+		g.cpuOwner[c] = e
+		return true
+	})
+	e.defaultQueue = e.CreateQueue("default")
+	g.enclaves = append(g.enclaves, e)
+	return e
+}
+
+// ID returns the enclave id.
+func (e *Enclave) ID() int { return e.id }
+
+// CPUs returns the enclave's CPU mask.
+func (e *Enclave) CPUs() kernel.Mask { return e.cpus }
+
+// Destroyed reports whether the enclave has been torn down.
+func (e *Enclave) Destroyed() bool { return e.destroyed }
+
+// DefaultQueue returns the queue threads are implicitly associated with.
+func (e *Enclave) DefaultQueue() *Queue { return e.defaultQueue }
+
+// CreateQueue creates a message queue (CREATE_QUEUE).
+func (e *Enclave) CreateQueue(name string) *Queue {
+	q := &Queue{enc: e, name: name}
+	e.queues = append(e.queues, q)
+	return q
+}
+
+// DestroyQueue removes a queue (DESTROY_QUEUE). Threads associated with
+// it fall back to the default queue.
+func (e *Enclave) DestroyQueue(q *Queue) {
+	q.dead = true
+	for _, t := range e.threads {
+		if gt := gstate(t); gt != nil && gt.q == q {
+			gt.q = e.defaultQueue
+		}
+	}
+	for i, qq := range e.queues {
+		if qq == q {
+			e.queues = append(e.queues[:i], e.queues[i+1:]...)
+			return
+		}
+	}
+}
+
+// AssociateQueue redirects a thread's messages to q (ASSOCIATE_QUEUE).
+// Per §3.1 it fails if the thread still has undrained messages in its
+// current queue, in which case the agent must drain and retry.
+func (e *Enclave) AssociateQueue(t *kernel.Thread, q *Queue) error {
+	gt := gstate(t)
+	if gt == nil || gt.enc != e {
+		return fmt.Errorf("ghostcore: thread %v not in enclave %d", t, e.id)
+	}
+	if gt.pendingMsgs > 0 {
+		return fmt.Errorf("ghostcore: thread %v has %d pending messages", t, gt.pendingMsgs)
+	}
+	gt.q = q
+	return nil
+}
+
+// ConfigQueueWakeup makes q wake agent a when messages are produced
+// (CONFIG_QUEUE_WAKEUP); pass nil to make it polled (centralized model).
+// The agent's Aseq advances on every post either way.
+func (e *Enclave) ConfigQueueWakeup(q *Queue, a *Agent, wake bool) {
+	q.seqAgent = a
+	if wake {
+		q.wakeAgent = a
+	} else {
+		q.wakeAgent = nil
+	}
+	if a != nil {
+		a.queue = q
+	}
+}
+
+// AddThread moves a native thread under ghOSt management in this enclave
+// (the thread joins the ghOSt scheduling class; the agent learns of it
+// via THREAD_CREATED).
+func (e *Enclave) AddThread(t *kernel.Thread) {
+	if e.destroyed {
+		panic("ghostcore: AddThread on destroyed enclave")
+	}
+	e.g.pendingEnclave = e
+	e.k.SetClass(t, e.g)
+	e.g.pendingEnclave = nil
+}
+
+// SpawnThread spawns a new thread directly into this enclave.
+func (e *Enclave) SpawnThread(opts kernel.SpawnOpts, body kernel.ThreadFunc) *kernel.Thread {
+	if e.destroyed {
+		panic("ghostcore: SpawnThread on destroyed enclave")
+	}
+	opts.Class = e.g
+	e.g.pendingEnclave = e
+	t := e.k.Spawn(opts, body)
+	e.g.pendingEnclave = nil
+	return t
+}
+
+// Threads returns the threads currently managed by the enclave. A new
+// agent generation uses this to rebuild its state after an upgrade.
+func (e *Enclave) Threads() []*kernel.Thread {
+	out := make([]*kernel.Thread, 0, len(e.threads))
+	for _, t := range e.threads {
+		out = append(out, t)
+	}
+	return out
+}
+
+// RunnableThreads returns managed threads that are runnable and waiting
+// for a scheduling decision.
+func (e *Enclave) RunnableThreads() []*kernel.Thread {
+	var out []*kernel.Thread
+	for _, t := range e.threads {
+		if gt := gstate(t); gt != nil && gt.runnable && !gt.latched {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// StatusWord returns a thread's status word for shared-memory polling.
+func (e *Enclave) StatusWord(t *kernel.Thread) *StatusWord {
+	gt := gstate(t)
+	if gt == nil {
+		return nil
+	}
+	return &gt.sw
+}
+
+// ThreadSeq returns the thread's current Tseq.
+func (e *Enclave) ThreadSeq(t *kernel.Thread) uint64 {
+	gt := gstate(t)
+	if gt == nil {
+		return 0
+	}
+	return gt.tseq
+}
+
+// AttachAgent registers an agent thread for cpu (AGENT_INIT). The agent
+// thread must be pinned to cpu and scheduled by the agent class.
+func (e *Enclave) AttachAgent(cpu hw.CPUID, t *kernel.Thread) *Agent {
+	if !e.cpus.Has(cpu) {
+		panic(fmt.Sprintf("ghostcore: agent cpu %d outside enclave", cpu))
+	}
+	// Aseq starts at 1 so that 0 always means "no sequence check".
+	a := &Agent{enc: e, cpu: cpu, thread: t, attached: true, aseq: 1}
+	a.sw.Seq = 1
+	e.agents[cpu] = a
+	e.upgradePending = false
+	return a
+}
+
+// DetachAgent removes an agent (exit or crash). When the last agent
+// detaches without a pending upgrade, the enclave falls back: it is
+// destroyed and all threads return to the default scheduler (§3.4).
+func (e *Enclave) DetachAgent(a *Agent) {
+	if !a.attached {
+		return
+	}
+	a.attached = false
+	if e.agents[a.cpu] == a {
+		delete(e.agents, a.cpu)
+	}
+	if len(e.agents) == 0 && !e.upgradePending && !e.destroyed {
+		e.DestroyWith("all agents exited")
+	}
+}
+
+// BeginUpgrade announces that a new agent generation will attach shortly:
+// the crash fallback is suppressed so threads stay in the enclave across
+// the handover (§3.4 "replacing agents while keeping the enclave").
+func (e *Enclave) BeginUpgrade() { e.upgradePending = true }
+
+// AgentsAttached reports how many agents are currently attached; new
+// agent generations epoll on this reaching zero before taking over.
+func (e *Enclave) AgentsAttached() int { return len(e.agents) }
+
+// tickQueue picks the queue receiving cpu's TIMER_TICK messages.
+func (e *Enclave) tickQueue(cpu hw.CPUID) *Queue {
+	if a, ok := e.agents[cpu]; ok && a.queue != nil {
+		return a.queue
+	}
+	// Centralized model: ticks flow to whichever queue the (single)
+	// attached agent consumes, else the default queue.
+	for _, a := range e.agents {
+		if a.queue != nil {
+			return a.queue
+		}
+	}
+	return e.defaultQueue
+}
+
+// SetBPF attaches the enclave's BPF pick_next_task program (§3.2).
+func (e *Enclave) SetBPF(p BPFProgram) { e.bpf = p }
+
+// SetTickless disables (or re-enables) timer ticks on every enclave CPU
+// (§5): with a spinning global agent making all decisions, per-CPU ticks
+// only cause VM-exit jitter for guest workloads. Re-enabled
+// automatically when the enclave is destroyed.
+func (e *Enclave) SetTickless(on bool) {
+	e.tickless = on
+	e.cpus.ForEach(func(c hw.CPUID) bool {
+		e.k.SetTickless(c, on)
+		return true
+	})
+}
+
+// LatchedFor returns the thread committed-but-not-yet-switched-in on
+// cpu, nil if none: either an installed latch awaiting pick, or a commit
+// whose IPI is still in flight. Agents and policies use this to avoid
+// double-committing a CPU.
+func (e *Enclave) LatchedFor(cpu hw.CPUID) *kernel.Thread {
+	if !e.cpus.Has(cpu) {
+		return nil
+	}
+	if s := e.g.slots[cpu]; s != nil {
+		return s
+	}
+	if s := e.g.inflight[cpu]; s != nil {
+		if gt := gstate(s); gt != nil && gt.latched {
+			return s
+		}
+		e.g.inflight[cpu] = nil
+	}
+	return nil
+}
+
+// DebugThreadState reports the ghOSt-side view of a thread (runnable,
+// latched) for diagnostics and tests.
+func (e *Enclave) DebugThreadState(t *kernel.Thread) (runnable, latched bool) {
+	gt := gstate(t)
+	if gt == nil {
+		return false, false
+	}
+	return gt.runnable, gt.latched
+}
+
+// DebugInstall, when set, observes every transaction install attempt.
+var DebugInstall func(t *kernel.Thread, cpu hw.CPUID, destroyed, latched bool, state int)
+
+// TxnCreate opens a transaction to run t on cpu (TXN_CREATE).
+func (e *Enclave) TxnCreate(tid kernel.TID, cpu hw.CPUID) *Txn {
+	return &Txn{TID: tid, CPU: cpu}
+}
+
+// TxnsCommit validates and applies a group of transactions
+// (TXNS_COMMIT, §3.2). Statuses are set synchronously, matching the
+// syscall semantics; committed remote transactions take effect on their
+// target CPUs after the (batched) IPI propagation delay from the cost
+// model. a is the committing agent (used for Aseq validation and IPI
+// distance); it may be nil for kernel-internal commits.
+func (e *Enclave) TxnsCommit(a *Agent, txns []*Txn) {
+	if e.destroyed {
+		for _, txn := range txns {
+			txn.Status = TxnInvalid
+		}
+		return
+	}
+	n := len(txns)
+	for _, txn := range txns {
+		e.commitOne(a, txn, n)
+	}
+}
+
+// TxnsCommitAtomic is the synchronized group commit used by per-core
+// scheduling policies (§4.5): the transactions either all commit or all
+// fail (status TxnInvalid is set on otherwise-valid members of a failed
+// group, mirroring the aborted-commit semantics).
+func (e *Enclave) TxnsCommitAtomic(a *Agent, txns []*Txn) bool {
+	if e.destroyed {
+		for _, txn := range txns {
+			txn.Status = TxnInvalid
+		}
+		return false
+	}
+	for _, txn := range txns {
+		if s := e.validate(a, txn); s != TxnCommitted {
+			txn.Status = s
+			e.g.TxnsFailed++
+			for _, other := range txns {
+				if other != txn && other.Status == TxnPending {
+					other.Status = TxnInvalid
+					e.g.TxnsFailed++
+				}
+			}
+			return false
+		}
+	}
+	n := len(txns)
+	for _, txn := range txns {
+		e.apply(a, txn, n)
+	}
+	return true
+}
+
+// PreemptCPU kicks the ghOSt thread currently running on cpu off the CPU
+// (it returns to the agent with THREAD_PREEMPTED) and clears any latched
+// transaction. Used to force a sibling idle for core scheduling.
+func (e *Enclave) PreemptCPU(cpu hw.CPUID) {
+	if !e.cpus.Has(cpu) {
+		return
+	}
+	g := e.g
+	if s := g.slots[cpu]; s != nil {
+		if gt := gstate(s); gt != nil {
+			gt.latched = false
+		}
+		g.slots[cpu] = nil
+		g.Preemptions++
+		g.postThreadMsg(s, MsgThreadPreempted)
+	}
+	if s := g.inflight[cpu]; s != nil {
+		if gt := gstate(s); gt != nil && gt.latched {
+			gt.latched = false
+			g.Preemptions++
+			g.postThreadMsg(s, MsgThreadPreempted)
+		}
+		g.inflight[cpu] = nil
+	}
+	curr := e.k.CPU(cpu).Curr()
+	if curr != nil && curr.Class() == kernel.Class(g) {
+		e.k.ForceOffCPU(curr)
+	}
+}
+
+// validate checks a transaction without side effects.
+func (e *Enclave) validate(a *Agent, txn *Txn) TxnStatus {
+	g := e.g
+	t := e.k.Thread(txn.TID)
+	if t == nil {
+		return TxnInvalid
+	}
+	gt := gstate(t)
+	if gt == nil || gt.enc != e {
+		return TxnInvalid
+	}
+	if !e.cpus.Has(txn.CPU) {
+		return TxnCPUNotAvail
+	}
+	if txn.AgentSeq != 0 && a != nil && a.aseq > txn.AgentSeq {
+		return TxnESTALE
+	}
+	if txn.ThreadSeq != 0 && gt.tseq > txn.ThreadSeq {
+		return TxnESTALE
+	}
+	if t.State() != kernel.StateRunnable || !gt.runnable || gt.latched {
+		return TxnThreadNotRunnable
+	}
+	if !t.Affinity().Has(txn.CPU) {
+		return TxnAffinityViolation
+	}
+	target := e.k.CPU(txn.CPU)
+	local := a != nil && a.cpu == txn.CPU
+	if !local {
+		if curr := target.Curr(); curr != nil && curr.Class() != kernel.Class(g) {
+			// Occupied by a higher class (CFS, agents, ...): the commit
+			// would never take effect promptly; fail fast.
+			return TxnCPUNotAvail
+		}
+	}
+	return TxnCommitted
+}
+
+// commitOne validates one transaction and, if accepted, latches the
+// thread and schedules the install on the target CPU.
+func (e *Enclave) commitOne(a *Agent, txn *Txn, groupSize int) {
+	if s := e.validate(a, txn); s != TxnCommitted {
+		txn.Status = s
+		e.g.TxnsFailed++
+		return
+	}
+	e.apply(a, txn, groupSize)
+}
+
+// apply latches a validated transaction and schedules its install.
+func (e *Enclave) apply(a *Agent, txn *Txn, groupSize int) {
+	g := e.g
+	t := e.k.Thread(txn.TID)
+	gt := gstate(t)
+	target := e.k.CPU(txn.CPU)
+	local := a != nil && a.cpu == txn.CPU
+	txn.Status = TxnCommitted
+	g.TxnsOK++
+	gt.latched = true
+	g.inflight[txn.CPU] = t
+
+	install := func() {
+		if g.inflight[txn.CPU] == t {
+			g.inflight[txn.CPU] = nil
+		}
+		if DebugInstall != nil {
+			DebugInstall(t, txn.CPU, e.destroyed, gt.latched, int(t.State()))
+		}
+		if e.destroyed || !gt.latched || t.State() != kernel.StateRunnable {
+			return
+		}
+		if curr := target.Curr(); curr != nil && curr.Class() != kernel.Class(g) &&
+			!(local && a != nil && curr == a.thread) {
+			// The CPU was taken by a higher class while the IPI was in
+			// flight (a local commit's own agent is expected and about
+			// to yield); drop the latch and hand the thread back to the
+			// agent as a preemption rather than parking it forever.
+			gt.latched = false
+			g.Preemptions++
+			g.postThreadMsg(t, MsgThreadPreempted)
+			return
+		}
+		if old := g.slots[txn.CPU]; old != nil && old != t {
+			// Displaced latch: hand the old thread back to the agent.
+			ogt := gstate(old)
+			ogt.latched = false
+			g.Enqueue(old, txn.CPU, kernel.EnqPreempt)
+		}
+		g.slots[txn.CPU] = t
+		e.k.Resched(txn.CPU)
+	}
+	if local {
+		install()
+		return
+	}
+	cross := a != nil && e.k.Topology().Dist(a.cpu, txn.CPU) == hw.DistRemote
+	delay := e.k.Cost().RemoteCommitTargetCost(groupSize, cross)
+	e.k.Engine().After(delay, install)
+}
+
+// TxnsRecall revokes committed transactions whose target threads have
+// not yet been switched in (TXNS_RECALL, Table 1). Recalled threads
+// return to the runnable-waiting state; the count of recalls is
+// returned. Transactions whose thread already started running are left
+// alone.
+func (e *Enclave) TxnsRecall(txns []*Txn) int {
+	n := 0
+	for _, txn := range txns {
+		if txn.Status != TxnCommitted {
+			continue
+		}
+		t := e.k.Thread(txn.TID)
+		if t == nil {
+			continue
+		}
+		gt := gstate(t)
+		if gt == nil || gt.enc != e || !gt.latched {
+			continue
+		}
+		gt.latched = false
+		if e.g.slots[txn.CPU] == t {
+			e.g.slots[txn.CPU] = nil
+		}
+		if e.g.inflight[txn.CPU] == t {
+			e.g.inflight[txn.CPU] = nil
+		}
+		txn.Status = TxnRecalled
+		n++
+	}
+	return n
+}
+
+// SetHint attaches an application-supplied scheduling hint to a thread
+// (the "optional scheduling hints" channel of Fig 1). Hints are opaque
+// to the kernel; policies read them with Hint.
+func (e *Enclave) SetHint(t *kernel.Thread, hint any) {
+	if gt := gstate(t); gt != nil && gt.enc == e {
+		gt.hint = hint
+	}
+}
+
+// Hint returns the thread's current scheduling hint, nil if none.
+func (e *Enclave) Hint(t *kernel.Thread) any {
+	if gt := gstate(t); gt != nil && gt.enc == e {
+		return gt.hint
+	}
+	return nil
+}
+
+// Destroy tears the enclave down: agents are killed, all managed threads
+// fall back to the default scheduler, and the CPUs are released (§3.4).
+func (e *Enclave) Destroy() { e.DestroyWith("explicit destroy") }
+
+// DestroyWith records why the enclave died (watchdog, crash, explicit).
+func (e *Enclave) DestroyWith(reason string) {
+	if e.destroyed {
+		return
+	}
+	e.destroyed = true
+	e.DestroyedFor = reason
+	if e.watchdog != nil {
+		e.watchdog.Stop()
+		e.watchdog = nil
+	}
+	e.k.Tracef("enclave %d destroyed: %s", e.id, reason)
+	if e.tickless {
+		e.SetTickless(false)
+	}
+	// Clear latched slots.
+	e.cpus.ForEach(func(c hw.CPUID) bool {
+		if s := e.g.slots[c]; s != nil {
+			if gt := gstate(s); gt != nil {
+				gt.latched = false
+			}
+			e.g.slots[c] = nil
+		}
+		e.g.inflight[c] = nil
+		e.g.cpuOwner[c] = nil
+		return true
+	})
+	// Kill agents.
+	for _, a := range e.agents {
+		a.attached = false
+		if a.thread != nil {
+			e.k.Kill(a.thread)
+		}
+	}
+	e.agents = map[hw.CPUID]*Agent{}
+	// Threads fall back to the default scheduler, still fully
+	// functional (§3.4).
+	for _, t := range e.Threads() {
+		if t.State() != kernel.StateDead {
+			e.k.SetClass(t, e.g.fallback)
+		}
+	}
+	e.threads = map[kernel.TID]*kernel.Thread{}
+}
+
+// EnableWatchdog starts the enclave watchdog (§3.4): if any runnable
+// thread waits longer than timeout for a scheduling decision, the
+// enclave is destroyed and its threads fall back to the default
+// scheduler.
+func (e *Enclave) EnableWatchdog(timeout sim.Duration) {
+	if timeout <= 0 {
+		panic("ghostcore: watchdog timeout must be positive")
+	}
+	e.WatchdogTimeout = timeout
+	period := timeout / 4
+	if period < sim.Millisecond {
+		period = sim.Millisecond
+	}
+	e.watchdog = sim.NewTicker(e.k.Engine(), period, func(now sim.Time) {
+		if e.destroyed {
+			return
+		}
+		for _, t := range e.threads {
+			gt := gstate(t)
+			if gt != nil && gt.runnable && !gt.latched && now-gt.runnableSince > e.WatchdogTimeout {
+				e.DestroyWith(fmt.Sprintf("watchdog: %v runnable for %v", t, now-gt.runnableSince))
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,140 @@
+// Package ghostcore implements the kernel side of ghOSt (SOSP '21): the
+// ghOSt scheduling class, enclaves, kernel-to-agent message queues with
+// sequence numbers, status words, the transaction commit API with group
+// commits, the watchdog, and agent crash/upgrade handling.
+//
+// It corresponds to the paper's "ghOSt kernel scheduling class"; the
+// userspace side (agents and policies) lives in internal/agentsdk and
+// internal/policies.
+package ghostcore
+
+import (
+	"fmt"
+
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+)
+
+// MsgType enumerates the kernel-to-agent messages of Table 1.
+type MsgType int
+
+// Message types (Table 1).
+const (
+	MsgThreadCreated MsgType = iota
+	MsgThreadBlocked
+	MsgThreadPreempted
+	MsgThreadYield
+	MsgThreadDead
+	MsgThreadWakeup
+	MsgThreadAffinity
+	MsgTimerTick
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgThreadCreated:
+		return "THREAD_CREATED"
+	case MsgThreadBlocked:
+		return "THREAD_BLOCKED"
+	case MsgThreadPreempted:
+		return "THREAD_PREEMPTED"
+	case MsgThreadYield:
+		return "THREAD_YIELD"
+	case MsgThreadDead:
+		return "THREAD_DEAD"
+	case MsgThreadWakeup:
+		return "THREAD_WAKEUP"
+	case MsgThreadAffinity:
+		return "THREAD_AFFINITY"
+	case MsgTimerTick:
+		return "TIMER_TICK"
+	}
+	return fmt.Sprintf("MsgType(%d)", int(m))
+}
+
+// Message is one kernel-to-agent notification. Thread messages carry the
+// thread's sequence number Tseq at posting time (§3.1); agents echo the
+// latest Tseq in transactions to detect staleness.
+type Message struct {
+	Type MsgType
+	TID  kernel.TID
+	Seq  uint64   // Tseq for thread messages
+	CPU  hw.CPUID // for TIMER_TICK and placement hints
+	// Runnable is set on THREAD_CREATED when the new thread is already
+	// runnable, and on THREAD_AFFINITY to carry no meaning (mask is read
+	// from the thread).
+	Runnable bool
+	// Posted is the enqueue timestamp, for delivery-latency measurement.
+	Posted sim.Time
+}
+
+// Queue is a ghOSt message queue in "shared memory": the kernel produces
+// messages, an agent consumes them. A queue may be configured to wake an
+// agent on enqueue (per-CPU model) or be polled (centralized model).
+type Queue struct {
+	enc  *Enclave
+	name string
+	msgs []Message
+
+	// wakeAgent, when set, is woken whenever a message is produced
+	// (CONFIG_QUEUE_WAKEUP).
+	wakeAgent *Agent
+	// seqAgent is the agent whose Aseq advances on every post to this
+	// queue; usually the consumer.
+	seqAgent *Agent
+
+	dead bool
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of pending messages.
+func (q *Queue) Len() int { return len(q.msgs) }
+
+// post appends a message, bumps Aseq, and wakes/pokes the consumer.
+func (q *Queue) post(m Message) {
+	if q.dead {
+		return
+	}
+	m.Posted = q.enc.k.Now()
+	q.msgs = append(q.msgs, m)
+	if q.seqAgent != nil {
+		q.seqAgent.aseq++
+		q.seqAgent.sw.Seq = q.seqAgent.aseq
+	}
+	if q.wakeAgent != nil && q.wakeAgent.thread != nil {
+		k := q.enc.k
+		if q.wakeAgent.thread.State() == kernel.StateBlocked {
+			k.Wake(q.wakeAgent.thread)
+		} else {
+			k.Poke(q.wakeAgent.thread)
+		}
+	}
+}
+
+// Drain removes and returns all pending messages.
+func (q *Queue) Drain() []Message {
+	out := q.msgs
+	q.msgs = nil
+	for _, m := range out {
+		if gt := q.enc.ghostOf(m.TID); gt != nil {
+			gt.pendingMsgs--
+		}
+	}
+	return out
+}
+
+// Pop removes and returns the oldest message.
+func (q *Queue) Pop() (Message, bool) {
+	if len(q.msgs) == 0 {
+		return Message{}, false
+	}
+	m := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	if gt := q.enc.ghostOf(m.TID); gt != nil {
+		gt.pendingMsgs--
+	}
+	return m, true
+}

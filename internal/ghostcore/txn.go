@@ -1,0 +1,81 @@
+package ghostcore
+
+import (
+	"fmt"
+
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+)
+
+// TxnStatus is the outcome of a transaction commit.
+type TxnStatus int
+
+// Transaction outcomes.
+const (
+	// TxnPending: created but not yet committed.
+	TxnPending TxnStatus = iota
+	// TxnCommitted: the kernel accepted the transaction; the thread is
+	// latched onto the target CPU and will context-switch in.
+	TxnCommitted
+	// TxnESTALE: the sequence number supplied with the transaction is
+	// older than the kernel's, i.e. the agent decided on stale state.
+	TxnESTALE
+	// TxnCPUNotAvail: the target CPU is outside the enclave or occupied
+	// by a higher-priority scheduling class.
+	TxnCPUNotAvail
+	// TxnThreadNotRunnable: the target thread is not runnable (blocked,
+	// dead, already latched or running).
+	TxnThreadNotRunnable
+	// TxnAffinityViolation: the target CPU is not in the thread's mask.
+	TxnAffinityViolation
+	// TxnInvalid: malformed (unknown thread, thread not in enclave).
+	TxnInvalid
+	// TxnRecalled: the agent revoked the commit before it took effect
+	// (TXNS_RECALL).
+	TxnRecalled
+)
+
+func (s TxnStatus) String() string {
+	switch s {
+	case TxnPending:
+		return "PENDING"
+	case TxnCommitted:
+		return "COMMITTED"
+	case TxnESTALE:
+		return "ESTALE"
+	case TxnCPUNotAvail:
+		return "CPU_NOT_AVAIL"
+	case TxnThreadNotRunnable:
+		return "THREAD_NOT_RUNNABLE"
+	case TxnAffinityViolation:
+		return "AFFINITY_VIOLATION"
+	case TxnInvalid:
+		return "INVALID"
+	case TxnRecalled:
+		return "RECALLED"
+	}
+	return fmt.Sprintf("TxnStatus(%d)", int(s))
+}
+
+// Txn is a scheduling transaction (§3.2): "run thread TID on CPU". The
+// agent fills in the sequence number it acted on; commit validates it.
+type Txn struct {
+	TID kernel.TID
+	CPU hw.CPUID
+
+	// AgentSeq, when non-zero, is the Aseq the committing agent read
+	// before deciding (per-CPU model, §3.2). The commit fails ESTALE if
+	// newer messages arrived since.
+	AgentSeq uint64
+	// ThreadSeq, when non-zero, is the latest Tseq the agent has seen
+	// for TID (centralized model, §3.3). The commit fails ESTALE if the
+	// thread has posted newer state.
+	ThreadSeq uint64
+
+	Status TxnStatus
+}
+
+// String renders the transaction for traces.
+func (t *Txn) String() string {
+	return fmt.Sprintf("txn{T%d->cpu%d %s}", t.TID, t.CPU, t.Status)
+}

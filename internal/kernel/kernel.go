@@ -1,0 +1,770 @@
+// Package kernel implements a simulated operating-system kernel: threads,
+// CPUs, a Linux-style scheduling-class hierarchy, timer ticks, wakeups,
+// affinity, and nice values. It is the substrate on which the ghOSt
+// scheduling class (internal/ghostcore) and the baseline schedulers run.
+//
+// Thread bodies are written as plain Go functions that interact with the
+// kernel through a TaskContext; the kernel executes them deterministically
+// on virtual time using a strict hand-off between the simulation engine
+// goroutine and each thread goroutine.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"ghost/internal/hw"
+	"ghost/internal/sim"
+)
+
+// Kernel is a simulated kernel instance for one machine.
+type Kernel struct {
+	eng  *sim.Engine
+	topo *hw.Topology
+	cost hw.CostModel
+	rand *sim.Rand
+
+	cpus    []*CPU
+	threads map[TID]*Thread
+	live    []*Thread
+	nextTID TID
+
+	classes []Class // sorted by descending priority
+
+	idleHooks     []func(*CPU)
+	tickHooks     []func(*CPU)
+	pressureHooks []func(*CPU, *Thread)
+	tickless      []bool // per-CPU: skip timer ticks (§5 tickless mode)
+
+	// TraceFn, when set, receives a line per scheduling event.
+	TraceFn func(string)
+
+	shutdown bool
+}
+
+// New creates a kernel for the given topology and cost model, attached to
+// the engine. Timer ticks are started for every CPU, staggered across the
+// tick period.
+func New(eng *sim.Engine, topo *hw.Topology, cost hw.CostModel) *Kernel {
+	k := &Kernel{
+		eng:     eng,
+		topo:    topo,
+		cost:    cost,
+		rand:    sim.NewRand(0xC0FFEE),
+		threads: make(map[TID]*Thread),
+		nextTID: 1,
+	}
+	n := topo.NumCPUs()
+	k.cpus = make([]*CPU, n)
+	k.tickless = make([]bool, n)
+	for i := 0; i < n; i++ {
+		k.cpus[i] = &CPU{ID: hw.CPUID(i), Info: topo.CPU(hw.CPUID(i)), k: k}
+	}
+	// Staggered per-CPU timer ticks.
+	for i := 0; i < n; i++ {
+		c := k.cpus[i]
+		offset := cost.TickPeriod * sim.Duration(i) / sim.Duration(n)
+		eng.At(eng.Now()+offset, func() {
+			sim.NewTicker(eng, cost.TickPeriod, func(sim.Time) { k.tick(c) })
+		})
+	}
+	return k
+}
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Topology returns the machine topology.
+func (k *Kernel) Topology() *hw.Topology { return k.topo }
+
+// Cost returns the cost model.
+func (k *Kernel) Cost() *hw.CostModel { return &k.cost }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() sim.Time { return k.eng.Now() }
+
+// CPU returns the CPU object for id.
+func (k *Kernel) CPU(id hw.CPUID) *CPU { return k.cpus[id] }
+
+// NumCPUs returns the number of CPUs.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// RegisterClass adds a scheduling class. Classes must be registered
+// before threads are spawned into them.
+func (k *Kernel) RegisterClass(c Class) {
+	k.classes = append(k.classes, c)
+	sort.SliceStable(k.classes, func(i, j int) bool {
+		return k.classes[i].Priority() > k.classes[j].Priority()
+	})
+}
+
+// Class returns the registered class with the given name, or nil.
+func (k *Kernel) Class(name string) Class {
+	for _, c := range k.classes {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// AddIdleHook registers fn to run whenever a CPU becomes idle. Used by
+// the ghOSt BPF-style fastpath and by spinning scheduler threads that
+// want an immediate poke on capacity changes.
+func (k *Kernel) AddIdleHook(fn func(*CPU)) { k.idleHooks = append(k.idleHooks, fn) }
+
+// AddTickHook registers fn to run on every per-CPU timer tick (after the
+// class tick). The ghOSt class uses this to emit TIMER_TICK messages.
+func (k *Kernel) AddTickHook(fn func(*CPU)) { k.tickHooks = append(k.tickHooks, fn) }
+
+// AddPressureHook registers fn to run when a lower-priority thread is
+// queued on a CPU held by a higher-priority one (e.g. a CFS thread
+// waiting behind a spinning global agent). The ghOSt agent SDK uses this
+// to trigger the global agent's "hot handoff" (§3.3).
+func (k *Kernel) AddPressureHook(fn func(*CPU, *Thread)) {
+	k.pressureHooks = append(k.pressureHooks, fn)
+}
+
+// Tracef emits a trace line when tracing is enabled.
+func (k *Kernel) Tracef(format string, args ...any) {
+	if k.TraceFn != nil {
+		k.TraceFn(fmt.Sprintf("[%v] ", k.eng.Now()) + fmt.Sprintf(format, args...))
+	}
+}
+
+// SpawnOpts configures thread creation.
+type SpawnOpts struct {
+	Name     string
+	Class    Class
+	Affinity Mask // zero value means "all CPUs"
+	Nice     int
+	Tag      any
+}
+
+// Spawn creates a thread running body and hands it to its scheduling
+// class. The thread starts executing (in simulated terms) as soon as its
+// class schedules it; body code before the first TaskContext call runs at
+// spawn time.
+func (k *Kernel) Spawn(opts SpawnOpts, body ThreadFunc) *Thread {
+	t := k.newThread(opts)
+	t.reqCh = make(chan action)
+	t.resCh = make(chan struct{})
+	go t.threadMain(body)
+	k.applyAction(t, t.nextAction())
+	return t
+}
+
+// SpawnStepper creates a thread driven by a Stepper (used for scheduler
+// agents and dataplane pollers). The thread is created blocked; Wake it
+// to start.
+func (k *Kernel) SpawnStepper(opts SpawnOpts, s Stepper) *Thread {
+	t := k.newThread(opts)
+	t.stepper = s
+	t.state = StateBlocked
+	t.curKind = actStepPending
+	return t
+}
+
+func (k *Kernel) newThread(opts SpawnOpts) *Thread {
+	if opts.Class == nil {
+		panic("kernel: Spawn without class")
+	}
+	if opts.Affinity.Empty() {
+		opts.Affinity = MaskAll(k.topo.NumCPUs())
+	}
+	t := &Thread{
+		tid:      k.nextTID,
+		name:     opts.Name,
+		k:        k,
+		state:    StateNew,
+		class:    opts.Class,
+		nice:     opts.Nice,
+		affinity: opts.Affinity,
+		lastCPU:  hw.NoCPU,
+		Tag:      opts.Tag,
+	}
+	k.nextTID++
+	k.threads[t.tid] = t
+	k.live = append(k.live, t)
+	t.class.ThreadAttached(t)
+	k.Tracef("spawn %v class=%s", t, t.class.Name())
+	return t
+}
+
+// Thread returns the thread with the given id, or nil.
+func (k *Kernel) Thread(tid TID) *Thread { return k.threads[tid] }
+
+// Threads returns all live (non-dead) threads.
+func (k *Kernel) Threads() []*Thread {
+	out := make([]*Thread, 0, len(k.live))
+	for _, t := range k.live {
+		if t.state != StateDead {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Wake transitions a blocked thread to runnable, selecting a CPU via its
+// class and possibly preempting. Waking a thread that is not blocked
+// records a pending wake consumed by its next Block.
+func (k *Kernel) Wake(t *Thread) {
+	switch t.state {
+	case StateDead:
+		return
+	case StateBlocked:
+		k.makeRunnable(t, EnqWake)
+		if t.stepper != nil {
+			// Step runs once the thread is actually on a CPU.
+			t.curKind = actStepPending
+		} else {
+			// Complete the pending Block and fetch what's next.
+			k.fetchNext(t)
+		}
+	default:
+		t.wakePending = true
+	}
+}
+
+// makeRunnable enqueues t with its class and triggers preemption checks.
+func (k *Kernel) makeRunnable(t *Thread, r EnqueueReason) {
+	t.state = StateRunnable
+	t.runnableAt = k.eng.Now()
+	t.wakeTime = t.runnableAt
+	var cpu hw.CPUID
+	if r == EnqWake || r == EnqClassChange {
+		cpu = t.class.SelectCPU(t)
+		if !t.affinity.Has(cpu) {
+			panic(fmt.Sprintf("kernel: %s.SelectCPU returned %d outside affinity %v",
+				t.class.Name(), cpu, t.affinity))
+		}
+	} else {
+		cpu = t.lastCPU
+	}
+	t.targetCPU = cpu
+	t.class.Enqueue(t, cpu, r)
+	k.maybePreempt(k.cpus[cpu], t)
+}
+
+// maybePreempt triggers a reschedule of c if the newly enqueued thread t
+// should take the CPU.
+func (k *Kernel) maybePreempt(c *CPU, t *Thread) {
+	curr := c.curr
+	switch {
+	case curr == nil:
+		k.Resched(c.ID)
+	case t.class.Priority() > curr.class.Priority():
+		k.Resched(c.ID)
+	case t.class == curr.class && t.class.WantsPreempt(c, curr, t):
+		k.Resched(c.ID)
+	case t.class.Priority() < curr.class.Priority():
+		for _, h := range k.pressureHooks {
+			h(c, t)
+		}
+	}
+}
+
+// Resched requests a scheduling pass on CPU id. Multiple requests at the
+// same instant coalesce.
+func (k *Kernel) Resched(id hw.CPUID) {
+	c := k.cpus[id]
+	if c.reschedPending {
+		return
+	}
+	c.reschedPending = true
+	k.eng.After(0, func() {
+		c.reschedPending = false
+		k.doSchedule(c)
+	})
+}
+
+// doSchedule is the core scheduling pass for one CPU.
+func (k *Kernel) doSchedule(c *CPU) {
+	if k.shutdown {
+		return
+	}
+	if c.switching {
+		c.needResched = true
+		return
+	}
+	prev := c.curr
+	if prev != nil && !prev.affinity.Has(c.ID) {
+		// Affinity changed under a running thread: evict and replace it
+		// through normal wake placement.
+		c.stopSegment()
+		prev.cpu = nil
+		prev.lastCPU = c.ID
+		c.curr = nil
+		k.makeRunnable(prev, EnqWake)
+		prev = nil
+	}
+	if prev != nil && !prev.class.Eligible(c, prev) {
+		// The running thread lost its right to the CPU (e.g. it was
+		// throttled); demote it before electing a successor.
+		c.stopSegment()
+		k.offCPU(c, prev, EnqPreempt)
+		prev = nil
+	}
+	// Find the highest-priority class with a claim on this CPU.
+	var winner Class
+	winnerIdx := -1
+	for i, cl := range k.classes {
+		if (prev != nil && prev.class == cl) || cl.Queued(c) {
+			winner, winnerIdx = cl, i
+			break
+		}
+	}
+	if winner == nil {
+		k.cpuIdle(c)
+		return
+	}
+	var prevSame *Thread
+	if prev != nil {
+		if prev.class == winner {
+			prevSame = prev
+		} else {
+			// Cross-class preemption: demote prev to its runqueue.
+			c.stopSegment()
+			k.offCPU(c, prev, EnqPreempt)
+		}
+	}
+	next := winner.PickNext(c, prevSame)
+	if next == nil {
+		if prevSame != nil {
+			return // prev keeps running
+		}
+		// Winner declined (e.g. ghOSt with no committed txn); try
+		// lower classes.
+		for _, lower := range k.classes[winnerIdx+1:] {
+			if lower.Queued(c) {
+				if next = lower.PickNext(c, nil); next != nil {
+					break
+				}
+			}
+		}
+		if next == nil {
+			k.cpuIdle(c)
+			return
+		}
+	}
+	if next == prevSame {
+		return // keep running; burn untouched
+	}
+	if prevSame != nil {
+		// Same-class switch: PickNext already requeued prevSame; just
+		// detach it from the CPU.
+		c.stopSegment()
+		prevSame.cpu = nil
+		prevSame.lastCPU = c.ID
+		if prevSame.state == StateRunning {
+			prevSame.state = StateRunnable
+			prevSame.runnableAt = k.eng.Now()
+		}
+		c.curr = nil
+	}
+	k.switchTo(c, next)
+}
+
+// offCPU removes a running thread from its CPU and requeues it runnable.
+func (k *Kernel) offCPU(c *CPU, t *Thread, r EnqueueReason) {
+	t.cpu = nil
+	t.lastCPU = c.ID
+	c.curr = nil
+	t.state = StateRunnable
+	t.runnableAt = k.eng.Now()
+	t.targetCPU = c.ID
+	t.class.Enqueue(t, c.ID, r)
+}
+
+// cpuIdle finalizes a scheduling pass that found no work: accounts the
+// idle transition and fires idle hooks (which may immediately commit new
+// work onto the CPU).
+func (k *Kernel) cpuIdle(c *CPU) {
+	if c.curr != nil {
+		return
+	}
+	c.accountIdle()
+	k.Tracef("cpu%d idle", c.ID)
+	for _, h := range k.idleHooks {
+		h(c)
+		if c.curr != nil || c.switching {
+			return
+		}
+	}
+}
+
+// switchTo installs next on c, charging context-switch dead time and a
+// cache-warmth migration penalty.
+func (k *Kernel) switchTo(c *CPU, next *Thread) {
+	now := k.eng.Now()
+	if next.state != StateRunnable {
+		panic(fmt.Sprintf("kernel: switching to %v in state %v", next, next.state))
+	}
+	if !next.affinity.Has(c.ID) {
+		panic(fmt.Sprintf("kernel: %v scheduled on cpu%d outside affinity", next, c.ID))
+	}
+	next.state = StateRunning
+	next.cpu = c
+	next.schedDelay += now - next.runnableAt
+	next.switchCount++
+	c.switches++
+	c.curr = next
+	c.accountBusy()
+	// Cache-warmth penalty: one-time extra work after a migration.
+	if next.lastCPU != hw.NoCPU && next.pendingWork > 0 {
+		next.pendingWork += k.cost.MigrationPenalty(k.topo.Dist(next.lastCPU, c.ID))
+	}
+	cost := next.class.SwitchInCost()
+	k.Tracef("cpu%d switch -> %v (cost %v)", c.ID, next, cost)
+	if cost <= 0 {
+		k.resumeOnCPU(c)
+		return
+	}
+	c.switching = true
+	c.eventAfterSwitch(cost)
+}
+
+func (c *CPU) eventAfterSwitch(cost sim.Duration) {
+	k := c.k
+	k.eng.After(cost, func() {
+		c.switching = false
+		resched := c.needResched
+		c.needResched = false
+		k.resumeOnCPU(c)
+		if resched {
+			k.Resched(c.ID)
+		}
+	})
+}
+
+// resumeOnCPU starts executing the current thread after a switch.
+func (k *Kernel) resumeOnCPU(c *CPU) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	if t.pendingWork > 0 {
+		c.startSegment()
+		return
+	}
+	switch t.curKind {
+	case actRun:
+		// Work already exhausted (completed exactly at preemption).
+		k.finishRun(c, t)
+	case actStepPending:
+		k.stepperStep(t)
+	case actSpinIdle:
+		c.startSegment() // occupies CPU without a completion event
+		if t.poked {
+			k.stepperStep(t)
+		}
+	default:
+		c.startSegment()
+	}
+}
+
+// finishRun completes an actRun whose work is exhausted: either invoke
+// its continuation or fetch the thread's next action.
+func (k *Kernel) finishRun(c *CPU, t *Thread) {
+	if t.onWorkDone != nil {
+		fn := t.onWorkDone
+		t.onWorkDone = nil
+		fn()
+		return
+	}
+	k.fetchNext(t)
+}
+
+// workDone fires when the current thread's run segment completes.
+func (k *Kernel) workDone(c *CPU) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	c.stopSegment()
+	if t.pendingWork > 0 {
+		// Rounding left residual work; keep burning.
+		c.startSegment()
+		return
+	}
+	k.finishRun(c, t)
+}
+
+// stepperStep invokes a stepper thread's Step while it is on CPU.
+func (k *Kernel) stepperStep(t *Thread) {
+	if t.state != StateRunning || t.cpu == nil {
+		return
+	}
+	c := t.cpu
+	c.stopSegment()
+	k.applyAction(t, t.nextAction())
+	_ = c
+}
+
+// Poke nudges a stepper thread: if it is spin-idling on a CPU its Step is
+// invoked promptly; otherwise the poke is remembered and consumed at the
+// next Step opportunity.
+func (k *Kernel) Poke(t *Thread) {
+	if t == nil || t.state == StateDead {
+		return
+	}
+	t.poked = true
+	if t.state == StateRunning && t.curKind == actSpinIdle && t.cpu != nil {
+		// Defer to an event so pokes inside other handlers coalesce.
+		k.eng.After(0, func() {
+			if t.poked && t.state == StateRunning && t.curKind == actSpinIdle {
+				k.stepperStep(t)
+			}
+		})
+	}
+}
+
+// fetchNext acknowledges a body thread's completed action and applies the
+// next one.
+func (k *Kernel) fetchNext(t *Thread) {
+	if t.stepper == nil {
+		t.resCh <- struct{}{}
+	}
+	k.applyAction(t, t.nextAction())
+}
+
+// applyAction implements the thread-action state machine.
+func (k *Kernel) applyAction(t *Thread, a action) {
+	t.curKind = a.kind
+	switch a.kind {
+	case actRun:
+		t.pendingWork = a.dur
+		t.onWorkDone = a.then
+		switch t.state {
+		case StateNew:
+			k.makeRunnable(t, EnqWake)
+		case StateRunning:
+			t.cpu.startSegment()
+		case StateRunnable:
+			// Queued; burns when scheduled.
+		default:
+			panic(fmt.Sprintf("kernel: Run from %v in state %v", t, t.state))
+		}
+	case actBlock:
+		if t.stepper != nil && t.poked && t.state == StateRunning {
+			// A poke (e.g. a new ghOSt message) landed while the step's
+			// cost was being charged; re-step instead of blocking so
+			// the event is not stranded until the next wakeup.
+			k.stepperStep(t)
+			return
+		}
+		if t.wakePending {
+			t.wakePending = false
+			if t.stepper != nil {
+				t.curKind = actStepPending
+				if t.state == StateRunning {
+					k.stepperStep(t)
+				}
+				return
+			}
+			k.fetchNext(t)
+			return
+		}
+		switch t.state {
+		case StateNew:
+			t.state = StateBlocked
+		case StateRunning:
+			c := t.cpu
+			c.stopSegment()
+			t.state = StateBlocked
+			t.cpu = nil
+			t.lastCPU = c.ID
+			c.curr = nil
+			t.class.Dequeue(t, DeqBlock)
+			k.Resched(c.ID)
+		case StateRunnable:
+			t.state = StateBlocked
+			t.class.Dequeue(t, DeqBlock)
+		default:
+			panic(fmt.Sprintf("kernel: Block from %v in state %v", t, t.state))
+		}
+	case actYield:
+		if t.state == StateRunning {
+			c := t.cpu
+			c.stopSegment()
+			k.offCPU(c, t, EnqYield)
+			k.Resched(c.ID)
+		}
+		if t.stepper != nil {
+			t.curKind = actStepPending
+			return
+		}
+		k.fetchNext(t)
+	case actExit:
+		k.reap(t)
+	case actSpinIdle:
+		switch t.state {
+		case StateRunning:
+			t.cpu.startSegment()
+			if t.poked {
+				// A poke landed while the step's cost was charging;
+				// re-step now rather than spinning past the event.
+				k.stepperStep(t)
+			}
+		case StateNew:
+			k.makeRunnable(t, EnqWake)
+		case StateRunnable:
+			// Will spin once scheduled.
+		default:
+			panic(fmt.Sprintf("kernel: SpinIdle from %v in state %v", t, t.state))
+		}
+	}
+}
+
+// ForceOffCPU preempts a running thread off its CPU immediately,
+// requeueing it in its class. Used by ghOSt's per-core scheduling to
+// force a sibling idle.
+func (k *Kernel) ForceOffCPU(t *Thread) {
+	if t.state != StateRunning || t.cpu == nil {
+		return
+	}
+	c := t.cpu
+	c.stopSegment()
+	k.offCPU(c, t, EnqPreempt)
+	k.Resched(c.ID)
+}
+
+// Kill forcibly terminates a thread (used for agent crashes and enclave
+// destruction). Safe on any state; idempotent.
+func (k *Kernel) Kill(t *Thread) {
+	if t.state == StateDead {
+		return
+	}
+	if t.state == StateBlocked {
+		t.class.Dequeue(t, DeqDead)
+	}
+	k.reap(t)
+}
+
+// reap finalizes a dead thread.
+func (k *Kernel) reap(t *Thread) {
+	prevState := t.state
+	t.state = StateDead
+	if prevState == StateRunning && t.cpu != nil {
+		c := t.cpu
+		c.stopSegment()
+		t.cpu = nil
+		t.lastCPU = c.ID
+		c.curr = nil
+		k.Resched(c.ID)
+	} else if prevState == StateRunnable {
+		t.class.Dequeue(t, DeqDead)
+	}
+	t.class.ThreadDetached(t, DeqDead)
+	if t.stepper == nil && t.resCh != nil && !t.chClosed {
+		t.chClosed = true
+		close(t.resCh)
+	}
+	k.Tracef("exit %v", t)
+}
+
+// SetAffinity updates a thread's CPU mask and notifies its class.
+func (k *Kernel) SetAffinity(t *Thread, m Mask) {
+	if m.Empty() {
+		panic("kernel: empty affinity mask")
+	}
+	t.affinity = m
+	t.class.AffinityChanged(t)
+	if t.state == StateRunning && !m.Has(t.cpu.ID) {
+		k.Resched(t.cpu.ID)
+	}
+}
+
+// SetNice updates a thread's nice value.
+func (k *Kernel) SetNice(t *Thread, n int) {
+	if n < -20 {
+		n = -20
+	}
+	if n > 19 {
+		n = 19
+	}
+	t.nice = n
+}
+
+// SetClass migrates a thread to a different scheduling class. Running or
+// runnable threads are requeued in the new class.
+func (k *Kernel) SetClass(t *Thread, nc Class) {
+	if t.class == nc || t.state == StateDead {
+		return
+	}
+	oldState := t.state
+	if oldState == StateRunning {
+		c := t.cpu
+		c.stopSegment()
+		t.cpu = nil
+		t.lastCPU = c.ID
+		c.curr = nil
+		t.state = StateRunnable
+		k.Resched(c.ID)
+	} else if oldState == StateRunnable {
+		t.class.Dequeue(t, DeqClassChange)
+	}
+	t.class.ThreadDetached(t, DeqClassChange)
+	t.class = nc
+	nc.ThreadAttached(t)
+	if t.state == StateRunnable {
+		k.makeRunnable(t, EnqClassChange)
+	}
+}
+
+// SetTickless enables or disables timer ticks on a CPU. With ticks off
+// the CPU pays no per-tick overhead and its class receives no Tick
+// callbacks — safe for ghOSt CPUs driven by a spinning global agent,
+// which is exactly the §5 tickless-scheduling optimization.
+func (k *Kernel) SetTickless(id hw.CPUID, on bool) { k.tickless[id] = on }
+
+// Tickless reports whether ticks are disabled on a CPU.
+func (k *Kernel) Tickless(id hw.CPUID) bool { return k.tickless[id] }
+
+// tick delivers the periodic timer tick on c.
+func (k *Kernel) tick(c *CPU) {
+	if k.shutdown || k.tickless[c.ID] {
+		return
+	}
+	if c.curr != nil && !c.switching {
+		if ov := k.cost.TickOverhead; ov > 0 && c.curr.pendingWork > 0 {
+			// The tick interrupts the running thread (a VM-exit for
+			// guest vCPUs): inject its cost as extra work.
+			c.stopSegment()
+			c.curr.pendingWork += ov
+			c.startSegment()
+		}
+		c.curr.class.Tick(c, c.curr)
+	}
+	for _, h := range k.tickHooks {
+		h(c)
+	}
+}
+
+// Shutdown unwinds all thread goroutines so a finished simulation does
+// not leak them. The kernel is unusable afterwards.
+func (k *Kernel) Shutdown() {
+	k.shutdown = true
+	for _, t := range k.live {
+		if t.state != StateDead && t.stepper == nil && t.resCh != nil && !t.chClosed {
+			t.chClosed = true
+			close(t.resCh)
+		}
+		t.state = StateDead
+	}
+}
+
+// IdleCPUs returns the ids of all currently idle CPUs.
+func (k *Kernel) IdleCPUs() []hw.CPUID {
+	var out []hw.CPUID
+	for _, c := range k.cpus {
+		if c.Idle() {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Rand returns the kernel's deterministic random source (used for tie
+// breaking in load balancing).
+func (k *Kernel) Rand() *sim.Rand { return k.rand }

@@ -1,0 +1,136 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"ghost/internal/hw"
+)
+
+// Mask is a CPU affinity bitmask supporting machines up to 256 CPUs.
+// The zero value is the empty mask.
+type Mask struct {
+	bits [4]uint64
+}
+
+// MaskAll returns a mask with CPUs 0..n-1 set.
+func MaskAll(n int) Mask {
+	var m Mask
+	for i := 0; i < n; i++ {
+		m.Set(hw.CPUID(i))
+	}
+	return m
+}
+
+// MaskOf returns a mask with exactly the given CPUs set.
+func MaskOf(ids ...hw.CPUID) Mask {
+	var m Mask
+	for _, id := range ids {
+		m.Set(id)
+	}
+	return m
+}
+
+// Set adds cpu to the mask.
+func (m *Mask) Set(c hw.CPUID) {
+	if c < 0 || int(c) >= 256 {
+		panic(fmt.Sprintf("kernel: mask CPU %d out of range", c))
+	}
+	m.bits[c/64] |= 1 << (uint(c) % 64)
+}
+
+// Clear removes cpu from the mask.
+func (m *Mask) Clear(c hw.CPUID) {
+	if c < 0 || int(c) >= 256 {
+		return
+	}
+	m.bits[c/64] &^= 1 << (uint(c) % 64)
+}
+
+// Has reports whether cpu is in the mask.
+func (m Mask) Has(c hw.CPUID) bool {
+	if c < 0 || int(c) >= 256 {
+		return false
+	}
+	return m.bits[c/64]&(1<<(uint(c)%64)) != 0
+}
+
+// Empty reports whether no CPU is set.
+func (m Mask) Empty() bool {
+	return m.bits[0]|m.bits[1]|m.bits[2]|m.bits[3] == 0
+}
+
+// Count returns the number of CPUs in the mask.
+func (m Mask) Count() int {
+	n := 0
+	for _, w := range m.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// And returns the intersection of two masks.
+func (m Mask) And(o Mask) Mask {
+	var r Mask
+	for i := range r.bits {
+		r.bits[i] = m.bits[i] & o.bits[i]
+	}
+	return r
+}
+
+// Or returns the union of two masks.
+func (m Mask) Or(o Mask) Mask {
+	var r Mask
+	for i := range r.bits {
+		r.bits[i] = m.bits[i] | o.bits[i]
+	}
+	return r
+}
+
+// ForEach calls fn for each CPU in the mask in ascending order; fn
+// returning false stops the iteration.
+func (m Mask) ForEach(fn func(hw.CPUID) bool) {
+	for w := 0; w < 4; w++ {
+		bits := m.bits[w]
+		for bits != 0 {
+			b := bits & (-bits)
+			idx := 0
+			for bb := b; bb > 1; bb >>= 1 {
+				idx++
+			}
+			if !fn(hw.CPUID(w*64 + idx)) {
+				return
+			}
+			bits &^= b
+		}
+	}
+}
+
+// CPUs returns the set CPUs in ascending order.
+func (m Mask) CPUs() []hw.CPUID {
+	out := make([]hw.CPUID, 0, m.Count())
+	m.ForEach(func(c hw.CPUID) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// String renders the mask as a compact CPU list.
+func (m Mask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	m.ForEach(func(c hw.CPUID) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+		first = false
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ghost/internal/sim"
+)
+
+// UsageReport summarises where a machine's CPU time went: per-CPU busy
+// fractions and per-scheduling-class thread time. Used by the CLI tools
+// and examples to explain experiment outcomes.
+type UsageReport struct {
+	Window    sim.Duration
+	CPUBusy   []float64               // fraction busy per CPU
+	ClassTime map[string]sim.Duration // on-CPU time by class name
+	Threads   map[string]sim.Duration // on-CPU time by thread name prefix
+}
+
+// Usage builds a report over the interval [0, now].
+func (k *Kernel) Usage() *UsageReport {
+	now := k.eng.Now()
+	r := &UsageReport{
+		Window:    now,
+		CPUBusy:   make([]float64, k.NumCPUs()),
+		ClassTime: make(map[string]sim.Duration),
+		Threads:   make(map[string]sim.Duration),
+	}
+	for i, c := range k.cpus {
+		if now > 0 {
+			r.CPUBusy[i] = float64(c.BusyTime()) / float64(now)
+		}
+	}
+	for _, t := range k.live {
+		r.ClassTime[t.class.Name()] += t.cpuTime
+		name := t.name
+		if i := strings.IndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		r.Threads[name] += t.cpuTime
+	}
+	return r
+}
+
+// String renders the report.
+func (r *UsageReport) String() string {
+	var b strings.Builder
+	busy := 0.0
+	for _, f := range r.CPUBusy {
+		busy += f
+	}
+	fmt.Fprintf(&b, "window=%v mean-utilization=%.1f%%\n", r.Window,
+		100*busy/float64(len(r.CPUBusy)))
+	var classes []string
+	for c := range r.ClassTime {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  class %-12s %v\n", c, r.ClassTime[c])
+	}
+	var names []string
+	for n := range r.Threads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  threads %-12s %v\n", n, r.Threads[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,322 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ghost/internal/hw"
+	"ghost/internal/sim"
+)
+
+// TID identifies a kernel thread.
+type TID int
+
+// State is a thread's run state.
+type State int
+
+// Thread run states.
+const (
+	StateNew State = iota
+	StateRunnable
+	StateRunning
+	StateBlocked
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// ThreadFunc is a simulated thread body. It runs in its own goroutine and
+// interacts with the simulated kernel exclusively through the TaskContext;
+// plain Go code between TaskContext calls executes in zero simulated time.
+type ThreadFunc func(tc *TaskContext)
+
+// Stepper is the callback-driven execution alternative used for scheduler
+// agents and dataplane pollers: when the thread is on CPU with no pending
+// work, the kernel invokes Step, which performs instantaneous actions,
+// returns the CPU time those actions cost, and a disposition for what the
+// thread does once that cost has been charged.
+type Stepper interface {
+	Step(now sim.Time) (cost sim.Duration, disp Disposition)
+}
+
+// Disposition tells the kernel what a Stepper thread does after its step
+// cost has been charged.
+type Disposition int
+
+const (
+	// DispSpin keeps the thread on CPU, busy-polling; Step is invoked
+	// again when the thread is poked.
+	DispSpin Disposition = iota
+	// DispBlock blocks the thread until Wake.
+	DispBlock
+	// DispYield puts the thread at the back of its class's queue.
+	DispYield
+	// DispAgain re-invokes Step as soon as the cost has elapsed.
+	DispAgain
+	// DispExit terminates the thread.
+	DispExit
+)
+
+// action is a request from a thread's execution to the kernel.
+type actionKind int
+
+const (
+	actNone actionKind = iota
+	actRun
+	actBlock
+	actYield
+	actExit
+	actSpinIdle    // stepper: stay on CPU, wait for a poke
+	actStepPending // stepper: Step must run next time the thread is on CPU
+)
+
+type action struct {
+	kind actionKind
+	dur  sim.Duration
+	// then, when set, is invoked in place of fetching the next action
+	// once the run completes. Used by stepper dispositions.
+	then func()
+}
+
+// Thread is a simulated kernel thread.
+type Thread struct {
+	tid   TID
+	name  string
+	k     *Kernel
+	state State
+
+	class    Class
+	nice     int
+	affinity Mask
+
+	cpu       *CPU     // CPU currently running on (nil unless Running)
+	targetCPU hw.CPUID // placement chosen at wake; queue key for per-CPU classes
+	lastCPU   hw.CPUID // where the thread last ran, NoCPU if never
+
+	// Execution machinery: exactly one of reqCh/stepper is set.
+	reqCh    chan action
+	resCh    chan struct{}
+	chClosed bool
+	stepper  Stepper
+
+	curKind     actionKind
+	pendingWork sim.Duration // remaining CPU work of the current action
+	onWorkDone  func()
+
+	wakePending bool // Wake arrived while not blocked
+	poked       bool // poke arrived for a stepper thread
+
+	// Accounting.
+	cpuTime     sim.Duration // total on-CPU wall time
+	wakeTime    sim.Time     // when the thread last became runnable
+	runnableAt  sim.Time
+	schedDelay  sim.Duration // cumulative wake-to-run latency
+	switchCount uint64
+
+	// Per-class state.
+	cfs cfsThread
+	mq  mqThread
+
+	// Ghost is opaque per-thread state owned by the ghOSt scheduling
+	// class (internal/ghostcore). The kernel never inspects it.
+	Ghost any
+
+	// Tag is opaque workload-owned state (e.g. which VM a vCPU belongs
+	// to); the kernel never inspects it.
+	Tag any
+}
+
+// TID returns the thread id.
+func (t *Thread) TID() TID { return t.tid }
+
+// Name returns the thread's human-readable name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the thread's current run state.
+func (t *Thread) State() State { return t.state }
+
+// Nice returns the thread's nice value (CFS weighting, -20..19).
+func (t *Thread) Nice() int { return t.nice }
+
+// Affinity returns the thread's CPU affinity mask.
+func (t *Thread) Affinity() Mask { return t.affinity }
+
+// LastCPU returns where the thread last ran, hw.NoCPU if never scheduled.
+func (t *Thread) LastCPU() hw.CPUID { return t.lastCPU }
+
+// OnCPU returns the CPU the thread is running on, or hw.NoCPU.
+func (t *Thread) OnCPU() hw.CPUID {
+	if t.cpu == nil {
+		return hw.NoCPU
+	}
+	return t.cpu.ID
+}
+
+// Class returns the thread's scheduling class.
+func (t *Thread) Class() Class { return t.class }
+
+// CPUTime returns total simulated wall time spent on CPU, accounted at
+// run-segment boundaries.
+func (t *Thread) CPUTime() sim.Duration { return t.cpuTime }
+
+// RuntimeNow returns CPUTime including the currently executing segment.
+func (t *Thread) RuntimeNow() sim.Duration {
+	rt := t.cpuTime
+	if t.state == StateRunning && t.cpu != nil && !t.cpu.switching {
+		rt += t.k.eng.Now() - t.cpu.segStart
+	}
+	return rt
+}
+
+// SchedDelay returns the cumulative runnable-to-running latency.
+func (t *Thread) SchedDelay() sim.Duration { return t.schedDelay }
+
+// Switches returns the number of times the thread was switched in.
+func (t *Thread) Switches() uint64 { return t.switchCount }
+
+// WakeTime returns when the thread last became runnable.
+func (t *Thread) WakeTime() sim.Time { return t.wakeTime }
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("T%d(%s,%s)", t.tid, t.name, t.state)
+}
+
+// errShutdown is panicked into thread goroutines on Kernel.Shutdown so
+// they unwind and exit.
+type errShutdown struct{}
+
+// threadMain is the goroutine wrapper for body-based threads.
+func (t *Thread) threadMain(body ThreadFunc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(errShutdown); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(&TaskContext{t: t})
+	t.reqCh <- action{kind: actExit}
+}
+
+// submit sends the next action to the kernel and waits for completion.
+// Called from the thread goroutine only.
+func (t *Thread) submit(a action) {
+	t.reqCh <- a
+	if _, ok := <-t.resCh; !ok {
+		panic(errShutdown{})
+	}
+}
+
+// nextAction fetches the thread's next action: for body threads it reads
+// the goroutine's next request; for stepper threads it invokes Step and
+// translates the disposition. Engine-goroutine only.
+func (t *Thread) nextAction() action {
+	if t.stepper == nil {
+		return <-t.reqCh
+	}
+	t.poked = false
+	cost, disp := t.stepper.Step(t.k.eng.Now())
+	if cost < 0 {
+		panic("kernel: stepper returned negative cost")
+	}
+	var after action
+	switch disp {
+	case DispSpin:
+		after = action{kind: actSpinIdle}
+	case DispBlock:
+		after = action{kind: actBlock}
+	case DispYield:
+		after = action{kind: actYield}
+	case DispAgain:
+		if cost == 0 {
+			panic("kernel: DispAgain with zero cost would livelock")
+		}
+		return action{kind: actRun, dur: cost}
+	case DispExit:
+		after = action{kind: actExit}
+	default:
+		panic("kernel: unknown disposition")
+	}
+	if cost == 0 {
+		return after
+	}
+	return action{kind: actRun, dur: cost, then: func() { t.k.applyAction(t, after) }}
+}
+
+// TaskContext is the interface a simulated thread body uses to interact
+// with the kernel. All methods must be called only from the thread's own
+// goroutine (i.e. inside its ThreadFunc).
+type TaskContext struct {
+	t *Thread
+}
+
+// Thread returns the underlying thread.
+func (tc *TaskContext) Thread() *Thread { return tc.t }
+
+// Now returns the current simulated time.
+func (tc *TaskContext) Now() sim.Time { return tc.t.k.eng.Now() }
+
+// Run consumes d nanoseconds of CPU time. The call returns once the work
+// has been executed; with preemptions or SMT contention the elapsed
+// simulated time can be much larger than d.
+func (tc *TaskContext) Run(d sim.Duration) {
+	if d < 0 {
+		panic("kernel: Run with negative duration")
+	}
+	if d == 0 {
+		return
+	}
+	tc.t.submit(action{kind: actRun, dur: d})
+}
+
+// Block suspends the thread until another thread calls Wake on it. If a
+// Wake arrived since the last Block, it returns immediately.
+func (tc *TaskContext) Block() {
+	tc.t.submit(action{kind: actBlock})
+}
+
+// Sleep blocks the thread for d nanoseconds of simulated time.
+func (tc *TaskContext) Sleep(d sim.Duration) {
+	t := tc.t
+	t.k.eng.After(d, func() { t.k.Wake(t) })
+	tc.Block()
+}
+
+// Yield relinquishes the CPU, moving the thread to the back of its
+// class's runqueue.
+func (tc *TaskContext) Yield() {
+	tc.t.submit(action{kind: actYield})
+}
+
+// SetAffinity restricts the thread to the given CPUs. Takes effect on the
+// next scheduling decision; notifies the scheduling class (for ghOSt this
+// produces a THREAD_AFFINITY message).
+func (tc *TaskContext) SetAffinity(m Mask) {
+	tc.t.k.SetAffinity(tc.t, m)
+}
+
+// SetNice adjusts the thread's nice value.
+func (tc *TaskContext) SetNice(n int) {
+	tc.t.k.SetNice(tc.t, n)
+}
+
+// TID returns the thread's id.
+func (tc *TaskContext) TID() TID { return tc.t.tid }
+
+// Kernel returns the owning kernel, for workload code that needs to wake
+// other threads or inspect time.
+func (tc *TaskContext) Kernel() *Kernel { return tc.t.k }

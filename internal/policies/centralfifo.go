@@ -1,0 +1,187 @@
+package policies
+
+import (
+	"ghost/internal/agentsdk"
+	"ghost/internal/ghostcore"
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+)
+
+// CentralFIFO is the centralized FIFO policy: a single global agent
+// keeps all runnable threads in FIFO order (optionally split into
+// priority bands) and schedules them onto idle CPUs as capacity appears.
+// It is the round-robin policy of Fig 5 and, with two bands and
+// PreemptLower, the Snap policy of §4.3 (Snap workers get strict
+// priority over antagonist threads, which only consume spare cycles).
+type CentralFIFO struct {
+	// Band classifies threads into priority bands (0 = highest). Nil
+	// puts every thread in band 0.
+	Band func(t *kernel.Thread) int
+	// NumBands is the number of bands (default 1).
+	NumBands int
+	// PreemptLower lets a queued thread preempt a running thread of a
+	// strictly lower band via a transactional preemption.
+	PreemptLower bool
+
+	tr     *Tracker
+	queues [][]*TState
+	// running mirrors which tracked thread the policy put on each CPU.
+	running map[hw.CPUID]*TState
+}
+
+// NewCentralFIFO builds the policy.
+func NewCentralFIFO() *CentralFIFO { return &CentralFIFO{} }
+
+func (p *CentralFIFO) bandOf(t *kernel.Thread) int {
+	if p.Band == nil {
+		return 0
+	}
+	b := p.Band(t)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(p.queues) {
+		b = len(p.queues) - 1
+	}
+	return b
+}
+
+// Attach implements agentsdk.GlobalPolicy.
+func (p *CentralFIFO) Attach(ctx *agentsdk.Context) {
+	if p.NumBands <= 0 {
+		p.NumBands = 1
+	}
+	p.queues = make([][]*TState, p.NumBands)
+	p.running = make(map[hw.CPUID]*TState)
+	p.tr = NewTracker()
+	p.tr.OnRunnable = func(ts *TState, m ghostcore.Message) {
+		if ts.CPU >= 0 {
+			delete(p.running, hw.CPUID(ts.CPU))
+			ts.CPU = -1
+		}
+		p.enqueue(ts)
+	}
+	p.tr.OnRemoved = func(ts *TState, m ghostcore.Message) {
+		if ts.CPU >= 0 {
+			delete(p.running, hw.CPUID(ts.CPU))
+			ts.CPU = -1
+		}
+		p.dequeue(ts)
+	}
+	p.tr.Rebuild(ctx)
+}
+
+func (p *CentralFIFO) enqueue(ts *TState) {
+	if ts.Enqueued {
+		return
+	}
+	ts.Enqueued = true
+	b := p.bandOf(ts.Thread)
+	p.queues[b] = append(p.queues[b], ts)
+}
+
+func (p *CentralFIFO) dequeue(ts *TState) {
+	if !ts.Enqueued {
+		return
+	}
+	ts.Enqueued = false
+	b := p.bandOf(ts.Thread)
+	q := p.queues[b]
+	for i, e := range q {
+		if e == ts {
+			p.queues[b] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// OnMessage implements agentsdk.GlobalPolicy.
+func (p *CentralFIFO) OnMessage(ctx *agentsdk.Context, m ghostcore.Message) {
+	p.tr.HandleMessage(ctx, m)
+}
+
+// popFor removes and returns the first queued thread in band b that may
+// run on cpu.
+func (p *CentralFIFO) popFor(b int, cpu hw.CPUID) *TState {
+	q := p.queues[b]
+	for i, ts := range q {
+		if ts.Thread.State() == kernel.StateRunnable && ts.Thread.Affinity().Has(cpu) {
+			p.queues[b] = append(q[:i], q[i+1:]...)
+			ts.Enqueued = false
+			return ts
+		}
+	}
+	return nil
+}
+
+// Schedule implements agentsdk.GlobalPolicy (the Fig 4 loop).
+func (p *CentralFIFO) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
+	var out []agentsdk.Assignment
+	now := ctx.Now()
+	for _, cpu := range ctx.IdleCPUs() {
+		assigned := false
+		for b := 0; b < len(p.queues) && !assigned; b++ {
+			if ts := p.popFor(b, cpu); ts != nil {
+				p.tr.MarkScheduled(ts, int(cpu), now)
+				p.running[cpu] = ts
+				out = append(out, agentsdk.Assignment{Thread: ts.Thread, CPU: cpu})
+				assigned = true
+			}
+		}
+	}
+	if p.PreemptLower {
+		// Remaining high-band work may displace running lower-band
+		// threads (Snap workers over antagonists, §4.3).
+		for b := 0; b < len(p.queues)-1; b++ {
+			for len(p.queues[b]) > 0 {
+				victimCPU, ok := p.findLowerBandVictim(b)
+				if !ok {
+					break
+				}
+				ts := p.popFor(b, victimCPU)
+				if ts == nil {
+					break
+				}
+				delete(p.running, victimCPU)
+				p.tr.MarkScheduled(ts, int(victimCPU), now)
+				p.running[victimCPU] = ts
+				out = append(out, agentsdk.Assignment{Thread: ts.Thread, CPU: victimCPU})
+			}
+		}
+	}
+	return out
+}
+
+func (p *CentralFIFO) findLowerBandVictim(band int) (hw.CPUID, bool) {
+	for cpu, ts := range p.running {
+		if p.bandOf(ts.Thread) > band && ts.Thread.State() == kernel.StateRunning {
+			return cpu, true
+		}
+	}
+	return 0, false
+}
+
+// OnTxnFail implements agentsdk.GlobalPolicy: failed commits re-enter the
+// queue at the back (Fig 3/4 semantics).
+func (p *CentralFIFO) OnTxnFail(ctx *agentsdk.Context, a agentsdk.Assignment, s ghostcore.TxnStatus) {
+	ts := p.tr.Get(a.Thread.TID())
+	if ts == nil {
+		return
+	}
+	delete(p.running, a.CPU)
+	p.tr.MarkFailed(ts)
+	if ts.Thread.State() == kernel.StateRunnable {
+		p.enqueue(ts)
+	} else {
+		ts.Runnable = false
+	}
+}
+
+// QueueLen reports the number of queued (waiting) threads, for tests.
+func (p *CentralFIFO) QueueLen() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}

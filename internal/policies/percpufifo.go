@@ -1,0 +1,157 @@
+package policies
+
+import (
+	"ghost/internal/agentsdk"
+	"ghost/internal/ghostcore"
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+)
+
+// PerCPUFIFO is the per-CPU scheduling model of Fig 3: each CPU has a
+// local agent with its own runqueue; new threads are placed round-robin;
+// idle agents steal from the most loaded runqueue when their own is
+// empty (the ASSOCIATE_QUEUE work-stealing flow of §3.1).
+type PerCPUFIFO struct {
+	// Steal enables work stealing between per-CPU runqueues.
+	Steal bool
+
+	tr     *Tracker
+	rqs    map[hw.CPUID][]*TState
+	home   map[kernel.TID]hw.CPUID
+	cpus   []hw.CPUID
+	nextRR int
+}
+
+// NewPerCPUFIFO builds the policy.
+func NewPerCPUFIFO() *PerCPUFIFO { return &PerCPUFIFO{Steal: true} }
+
+// Attach implements agentsdk.PerCPUPolicy.
+func (p *PerCPUFIFO) Attach(ctx *agentsdk.Context) {
+	p.rqs = make(map[hw.CPUID][]*TState)
+	p.home = make(map[kernel.TID]hw.CPUID)
+	p.cpus = ctx.Enclave.CPUs().CPUs()
+	p.tr = NewTracker()
+	p.tr.OnRunnable = func(ts *TState, m ghostcore.Message) {
+		cpu, ok := p.home[ts.Thread.TID()]
+		if !ok {
+			cpu = p.cpus[0]
+		}
+		p.push(cpu, ts)
+	}
+	p.tr.OnRemoved = func(ts *TState, m ghostcore.Message) {
+		if m.Type == ghostcore.MsgThreadDead {
+			cpu := p.home[ts.Thread.TID()]
+			p.remove(cpu, ts)
+			delete(p.home, ts.Thread.TID())
+		}
+	}
+	p.tr.Rebuild(ctx)
+}
+
+func (p *PerCPUFIFO) push(cpu hw.CPUID, ts *TState) {
+	if ts.Enqueued {
+		return
+	}
+	ts.Enqueued = true
+	p.rqs[cpu] = append(p.rqs[cpu], ts)
+}
+
+func (p *PerCPUFIFO) remove(cpu hw.CPUID, ts *TState) {
+	q := p.rqs[cpu]
+	for i, e := range q {
+		if e == ts {
+			p.rqs[cpu] = append(q[:i], q[i+1:]...)
+			ts.Enqueued = false
+			return
+		}
+	}
+}
+
+// AssignCPU implements agentsdk.PerCPUPolicy: round-robin placement.
+func (p *PerCPUFIFO) AssignCPU(ctx *agentsdk.Context, t *kernel.Thread) hw.CPUID {
+	for range p.cpus {
+		cpu := p.cpus[p.nextRR%len(p.cpus)]
+		p.nextRR++
+		if t.Affinity().Has(cpu) {
+			p.home[t.TID()] = cpu
+			return cpu
+		}
+	}
+	cpu := p.cpus[0]
+	p.home[t.TID()] = cpu
+	return cpu
+}
+
+// OnMessage implements agentsdk.PerCPUPolicy.
+func (p *PerCPUFIFO) OnMessage(ctx *agentsdk.Context, cpu hw.CPUID, m ghostcore.Message) {
+	if m.TID != 0 {
+		p.home[m.TID] = cpu
+	}
+	p.tr.HandleMessage(ctx, m)
+}
+
+// PickNext implements agentsdk.PerCPUPolicy.
+func (p *PerCPUFIFO) PickNext(ctx *agentsdk.Context, cpu hw.CPUID) *kernel.Thread {
+	q := p.rqs[cpu]
+	for len(q) > 0 {
+		ts := q[0]
+		q = q[1:]
+		p.rqs[cpu] = q
+		ts.Enqueued = false
+		if ts.Thread.State() == kernel.StateRunnable && ts.Thread.Affinity().Has(cpu) {
+			p.tr.MarkScheduled(ts, int(cpu), ctx.Now())
+			return ts.Thread
+		}
+	}
+	if p.Steal {
+		if ts := p.steal(cpu); ts != nil {
+			p.tr.MarkScheduled(ts, int(cpu), ctx.Now())
+			// Re-home the thread: subsequent messages flow here.
+			p.home[ts.Thread.TID()] = cpu
+			ctx.MoveThread(ts.Thread, cpu)
+			return ts.Thread
+		}
+	}
+	return nil
+}
+
+// steal takes the oldest thread from the longest runqueue.
+func (p *PerCPUFIFO) steal(thief hw.CPUID) *TState {
+	var victim hw.CPUID
+	best := 0
+	for _, cpu := range p.cpus {
+		if cpu == thief {
+			continue
+		}
+		if n := len(p.rqs[cpu]); n > best {
+			best = n
+			victim = cpu
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	q := p.rqs[victim]
+	for i, ts := range q {
+		if ts.Thread.State() == kernel.StateRunnable && ts.Thread.Affinity().Has(thief) {
+			p.rqs[victim] = append(q[:i], q[i+1:]...)
+			ts.Enqueued = false
+			return ts
+		}
+	}
+	return nil
+}
+
+// OnTxnFail implements agentsdk.PerCPUPolicy.
+func (p *PerCPUFIFO) OnTxnFail(ctx *agentsdk.Context, cpu hw.CPUID, t *kernel.Thread, s ghostcore.TxnStatus) {
+	ts := p.tr.Get(t.TID())
+	if ts == nil {
+		return
+	}
+	p.tr.MarkFailed(ts)
+	if t.State() == kernel.StateRunnable {
+		p.push(cpu, ts)
+	} else {
+		ts.Runnable = false
+	}
+}

@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the ghOSt reproduction runs on virtual time: the engine maintains
+// a priority queue of events keyed by (time, sequence) and executes them in
+// order. Because the engine is single-threaded and every source of
+// randomness is a seeded generator, a simulation run is bit-reproducible.
+// Time is measured in integer nanoseconds of simulated time; wall-clock
+// effects such as Go garbage collection cannot perturb simulated latencies.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// String renders a Time using engineering units for readability in traces.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. Fn runs at time At.
+type Event struct {
+	At Time
+	Fn func()
+
+	seq       uint64 // tie-break for FIFO ordering of same-time events
+	index     int    // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics.
+	Executed uint64
+}
+
+// NewEngine returns an engine with an empty event queue at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Empty reports whether no events remain (cancelled events may linger in
+// the heap but do not count).
+func (e *Engine) Empty() bool {
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			return false
+		}
+	}
+	return true
+}
+
+// step fires the next event. Returns false when the queue is exhausted.
+func (e *Engine) step(limit Time) bool {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.At > limit {
+			return false
+		}
+		heap.Pop(&e.queue)
+		if next.At < e.now {
+			panic("sim: event heap returned time in the past")
+		}
+		e.now = next.At
+		e.Executed++
+		next.Fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step(MaxTime) {
+	}
+}
+
+// RunUntil executes events with At <= deadline, then advances the clock to
+// exactly deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && e.step(deadline) {
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d nanoseconds.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + d) }

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.After(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("nested event fired at %v, want 150", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Empty() {
+		t.Fatal("engine not empty after run")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	e.At(10, func() { count++ })
+	e.At(20, func() { count++ })
+	e.At(30, func() { count++ })
+	e.RunUntil(20)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now = %v, want 20", e.Now())
+	}
+	e.RunFor(10)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	e.At(10, func() { count++; e.Stop() })
+	e.At(20, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after Stop, want 1", count)
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	tk := NewTicker(e, 100, func(now Time) {
+		fires = append(fires, now)
+		if len(fires) == 5 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	tk.Stop()
+	if len(fires) != 5 {
+		t.Fatalf("fires = %d, want 5", len(fires))
+	}
+	for i, f := range fires {
+		if f != Time(100*(i+1)) {
+			t.Fatalf("fire %d at %v, want %v", i, f, 100*(i+1))
+		}
+	}
+	e.Run()
+	if len(fires) != 5 {
+		t.Fatal("ticker fired after Stop")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500:        "500ns",
+		1500:       "1.500us",
+		2500000:    "2.500ms",
+		3000000000: "3.000000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+// Property: event execution order matches sorted schedule order regardless
+// of insertion order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var got []Time
+		for _, at := range times {
+			at := Time(at)
+			e.At(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRand(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different-seed generators suspiciously similar")
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(7)
+	const mean = 10000
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if got < mean*0.97 || got > mean*1.03 {
+		t.Fatalf("Exp mean = %.1f, want ~%d", got, mean)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(1)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandNormal(t *testing.T) {
+	r := NewRand(9)
+	var sum, sumsq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Normal(50, 10)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if mean < 49 || mean > 51 {
+		t.Fatalf("Normal mean = %.2f, want ~50", mean)
+	}
+	if variance < 90 || variance > 110 {
+		t.Fatalf("Normal variance = %.2f, want ~100", variance)
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	r := NewRand(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked generators produced identical first value")
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.step(MaxTime)
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+// Ticker invokes a callback at a fixed period of simulated time. It is the
+// building block for kernel timer ticks and statistics samplers.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fn      func(Time)
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker whose first fire is one period from now.
+// The callback receives the fire time.
+func NewTicker(e *Engine, period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker; the callback will not fire again.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+
+	"ghost/internal/sim"
+)
+
+// Meter counts events over simulated time and reports rates.
+type Meter struct {
+	count uint64
+	start sim.Time
+	last  sim.Time
+}
+
+// NewMeter returns a meter whose window starts at now.
+func NewMeter(now sim.Time) *Meter {
+	return &Meter{start: now, last: now}
+}
+
+// Add records n events at time now.
+func (m *Meter) Add(now sim.Time, n uint64) {
+	m.count += n
+	if now > m.last {
+		m.last = now
+	}
+}
+
+// Count returns the number of recorded events.
+func (m *Meter) Count() uint64 { return m.count }
+
+// Rate returns events per simulated second over [start, now].
+func (m *Meter) Rate(now sim.Time) float64 {
+	el := now - m.start
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.count) / el.Seconds()
+}
+
+// Reset restarts the window at now.
+func (m *Meter) Reset(now sim.Time) {
+	m.count = 0
+	m.start = now
+	m.last = now
+}
+
+// TimeSeries collects (time, value) samples, e.g. for Fig 8's 60-second
+// QPS and latency traces.
+type TimeSeries struct {
+	Name   string
+	Times  []sim.Time
+	Values []float64
+}
+
+// Add appends one sample.
+func (ts *TimeSeries) Add(t sim.Time, v float64) {
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// Mean returns the mean of all sample values, 0 when empty.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range ts.Values {
+		s += v
+	}
+	return s / float64(len(ts.Values))
+}
+
+// Max returns the largest sample value, 0 when empty.
+func (ts *TimeSeries) Max() float64 {
+	var m float64
+	for _, v := range ts.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Normalized returns a copy with values divided by the series max
+// (matching the paper's "normalized QPS/latency" axes). A zero max
+// yields zeros.
+func (ts *TimeSeries) Normalized() *TimeSeries {
+	out := &TimeSeries{Name: ts.Name}
+	m := ts.Max()
+	for i := range ts.Values {
+		v := 0.0
+		if m > 0 {
+			v = ts.Values[i] / m
+		}
+		out.Add(ts.Times[i], v)
+	}
+	return out
+}
+
+// NormalizedTo returns a copy with values divided by denom.
+func (ts *TimeSeries) NormalizedTo(denom float64) *TimeSeries {
+	out := &TimeSeries{Name: ts.Name}
+	for i := range ts.Values {
+		v := 0.0
+		if denom > 0 {
+			v = ts.Values[i] / denom
+		}
+		out.Add(ts.Times[i], v)
+	}
+	return out
+}
+
+func (ts *TimeSeries) String() string {
+	return fmt.Sprintf("series{%s n=%d mean=%.3f max=%.3f}", ts.Name, ts.Len(), ts.Mean(), ts.Max())
+}

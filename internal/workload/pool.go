@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+)
+
+// WorkerPool models the §4.2 serving structure: a pool of native worker
+// threads, each serving one request at a time (block → run service →
+// complete → block). The load generator hands an arriving request to a
+// free worker, or queues it if all workers are busy. Latency is measured
+// arrival-to-completion, so both queueing and scheduling delay count.
+type WorkerPool struct {
+	k        *kernel.Kernel
+	rec      *LatencyRecorder
+	workers  []*kernel.Thread
+	free     []*kernel.Thread
+	inbox    map[kernel.TID]*Request
+	backlog  []*Request
+	stopping bool
+}
+
+// NewWorkerPool spawns n worker threads with the given spawner (so the
+// caller chooses the scheduling class: CFS, or an enclave). spawn must
+// create a thread running the provided body.
+func NewWorkerPool(k *kernel.Kernel, n int, rec *LatencyRecorder,
+	spawn func(name string, body kernel.ThreadFunc) *kernel.Thread) *WorkerPool {
+	p := &WorkerPool{k: k, rec: rec, inbox: make(map[kernel.TID]*Request)}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("worker-%d", i)
+		var th *kernel.Thread
+		th = spawn(name, func(tc *kernel.TaskContext) {
+			p.workerLoop(tc)
+		})
+		p.workers = append(p.workers, th)
+		p.free = append(p.free, th)
+	}
+	return p
+}
+
+func (p *WorkerPool) workerLoop(tc *kernel.TaskContext) {
+	self := tc.Thread()
+	for {
+		tc.Block()
+		if p.stopping {
+			return
+		}
+		r := p.inbox[self.TID()]
+		if r == nil {
+			continue
+		}
+		delete(p.inbox, self.TID())
+		tc.Run(r.Service)
+		done := tc.Now()
+		p.rec.Record(r, done)
+		if r.Done != nil {
+			r.Done(r, done)
+		}
+		// Pick up backlog before returning to the free list.
+		if len(p.backlog) > 0 {
+			next := p.backlog[0]
+			p.backlog = p.backlog[1:]
+			p.inbox[self.TID()] = next
+			// Loop around; Block consumes the self-wake immediately.
+			tc.Kernel().Wake(self)
+			continue
+		}
+		p.free = append(p.free, self)
+	}
+}
+
+// Submit hands a request to the pool (the PoissonSource sink).
+func (p *WorkerPool) Submit(r *Request) {
+	if len(p.free) == 0 {
+		p.backlog = append(p.backlog, r)
+		return
+	}
+	w := p.free[0]
+	p.free = p.free[1:]
+	p.inbox[w.TID()] = r
+	p.k.Wake(w)
+}
+
+// Backlog returns the number of requests waiting for a free worker.
+func (p *WorkerPool) Backlog() int { return len(p.backlog) }
+
+// Workers returns the pool's threads.
+func (p *WorkerPool) Workers() []*kernel.Thread { return p.workers }
+
+// Stop makes workers exit at their next wakeup.
+func (p *WorkerPool) Stop() {
+	p.stopping = true
+	for _, w := range p.workers {
+		p.k.Wake(w)
+	}
+}
+
+// Spinner is a batch antagonist: a CPU-bound thread that runs forever in
+// small chunks (so preemption statistics stay fine-grained). Its CPU
+// share is read via Thread.CPUTime (Fig 6c, §4.3 loaded mode).
+func Spinner(chunk sim.Duration) kernel.ThreadFunc {
+	return func(tc *kernel.TaskContext) {
+		for {
+			tc.Run(chunk)
+		}
+	}
+}
+
+// FiniteSpinner runs total CPU work in chunks, then exits; used by the
+// bwaves VM workload (§4.5) where completion time is the metric.
+func FiniteSpinner(total, chunk sim.Duration, onDone func(at sim.Time)) kernel.ThreadFunc {
+	return func(tc *kernel.TaskContext) {
+		for done := sim.Duration(0); done < total; done += chunk {
+			c := chunk
+			if total-done < c {
+				c = total - done
+			}
+			tc.Run(c)
+		}
+		if onDone != nil {
+			onDone(tc.Now())
+		}
+	}
+}

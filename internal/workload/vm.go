@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+)
+
+// VMSet models the §4.5 secure-VM workload: VMs whose vCPUs are native
+// threads running a CPU-bound SPEC-like benchmark (bwaves). The metric
+// is total completion time of a fixed amount of work; core-scheduling
+// policies must never co-schedule vCPUs of different VMs on SMT siblings
+// of one physical core.
+type VMSet struct {
+	k   *kernel.Kernel
+	VMs []*VM
+
+	// Finished counts completed vCPUs; Done is when the last finished;
+	// CompletionSum accumulates per-vCPU completion times for the
+	// SPEC-rate-style mean.
+	Finished      int
+	Done          sim.Time
+	CompletionSum sim.Time
+}
+
+// MeanCompletion returns the average vCPU completion time.
+func (s *VMSet) MeanCompletion() sim.Time {
+	if s.Finished == 0 {
+		return 0
+	}
+	return s.CompletionSum / sim.Time(s.Finished)
+}
+
+// VM is one virtual machine: an ID and its vCPU threads.
+type VM struct {
+	ID    int
+	VCPUs []*kernel.Thread
+}
+
+// VMTag is attached to each vCPU thread's Tag so schedulers can read VM
+// membership (the paper's core-scheduling cookie).
+type VMTag struct {
+	VM int
+}
+
+// NewVMSet spawns numVMs VMs with vcpusPerVM vCPUs each, every vCPU
+// executing `work` of CPU time in `chunk` increments. spawn creates the
+// thread in the scheduler under test.
+func NewVMSet(k *kernel.Kernel, numVMs, vcpusPerVM int, work, chunk sim.Duration,
+	spawn func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread) *VMSet {
+	set := &VMSet{k: k}
+	total := numVMs * vcpusPerVM
+	for v := 0; v < numVMs; v++ {
+		vm := &VM{ID: v}
+		for c := 0; c < vcpusPerVM; c++ {
+			name := fmt.Sprintf("vm%d-vcpu%d", v, c)
+			th := spawn(name, &VMTag{VM: v}, FiniteSpinner(work, chunk, func(at sim.Time) {
+				set.Finished++
+				set.CompletionSum += at
+				if set.Finished == total {
+					set.Done = at
+				}
+			}))
+			vm.VCPUs = append(vm.VCPUs, th)
+		}
+		set.VMs = append(set.VMs, vm)
+	}
+	return set
+}
+
+// AllVCPUs returns every vCPU thread.
+func (s *VMSet) AllVCPUs() []*kernel.Thread {
+	var out []*kernel.Thread
+	for _, vm := range s.VMs {
+		out = append(out, vm.VCPUs...)
+	}
+	return out
+}
+
+// VMOf reads the VM id from a thread's tag, -1 if absent.
+func VMOf(t *kernel.Thread) int {
+	if tag, ok := t.Tag.(*VMTag); ok {
+		return tag.VM
+	}
+	return -1
+}
+
+// IsolationViolations counts instants where two sibling hyperthreads run
+// vCPUs of different VMs. Call it periodically during a run; any nonzero
+// total is a security violation of the §4.5 policy.
+type IsolationChecker struct {
+	k          *kernel.Kernel
+	Violations uint64
+	Checks     uint64
+}
+
+// NewIsolationChecker samples sibling pairs every period.
+func NewIsolationChecker(k *kernel.Kernel, period sim.Duration) *IsolationChecker {
+	ic := &IsolationChecker{k: k}
+	sim.NewTicker(k.Engine(), period, func(sim.Time) { ic.check() })
+	return ic
+}
+
+func (ic *IsolationChecker) check() {
+	topo := ic.k.Topology()
+	seen := make(map[int]bool)
+	for i := 0; i < topo.NumCPUs(); i++ {
+		cpu := topo.CPU(hw.CPUID(i))
+		if seen[cpu.Core] {
+			continue
+		}
+		seen[cpu.Core] = true
+		sib := cpu.Sibling()
+		if sib < 0 {
+			continue
+		}
+		a := ic.k.CPU(cpu.ID).Curr()
+		b := ic.k.CPU(sib).Curr()
+		if a == nil || b == nil {
+			continue
+		}
+		va, vb := VMOf(a), VMOf(b)
+		ic.Checks++
+		if va >= 0 && vb >= 0 && va != vb {
+			ic.Violations++
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package ghost
+
+import (
+	"ghost/internal/agentsdk"
+	"ghost/internal/ghostcore"
+	"ghost/internal/hw"
+	"ghost/internal/kernel"
+	"ghost/internal/sim"
+)
+
+// Machine is a simulated host: engine, kernel, the standard scheduling
+// class stack (agents > MicroQuanta > CFS > ghOSt), and helpers to build
+// enclaves, agents, and threads. It is the top-level object of the
+// public API.
+type Machine struct {
+	eng *sim.Engine
+	k   *kernel.Kernel
+
+	// CFS is the default scheduler; threads spawned with SpawnThread
+	// run under it.
+	CFS *kernel.CFS
+	// MicroQuanta is the soft real-time class of §4.3.
+	MicroQuanta *kernel.MicroQuanta
+	// Agents is the top-priority class hosting ghOSt agents.
+	Agents *kernel.AgentClass
+	// Ghost is the ghOSt scheduling class.
+	Ghost *ghostcore.Class
+}
+
+// MachineOpts customizes machine construction.
+type MachineOpts struct {
+	// Cost overrides the default (Table 3) cost model.
+	Cost *hw.CostModel
+	// NoMicroQuanta omits the MicroQuanta class.
+	NoMicroQuanta bool
+}
+
+// NewMachine builds a machine with the full class stack on the given
+// topology.
+func NewMachine(topo *hw.Topology, opts ...MachineOpts) *Machine {
+	var o MachineOpts
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	cost := hw.DefaultCostModel()
+	if o.Cost != nil {
+		cost = *o.Cost
+	}
+	eng := sim.NewEngine()
+	k := kernel.New(eng, topo, cost)
+	m := &Machine{eng: eng, k: k}
+	m.Agents = kernel.NewAgentClass(k)
+	if !o.NoMicroQuanta {
+		m.MicroQuanta = kernel.NewMicroQuanta(k)
+	}
+	m.CFS = kernel.NewCFS(k)
+	m.Ghost = ghostcore.NewClass(k, m.CFS)
+	return m
+}
+
+// Kernel exposes the underlying simulated kernel.
+func (m *Machine) Kernel() *kernel.Kernel { return m.k }
+
+// Topology returns the machine topology.
+func (m *Machine) Topology() *hw.Topology { return m.k.Topology() }
+
+// Now returns the current simulated time.
+func (m *Machine) Now() Time { return m.eng.Now() }
+
+// Run advances simulated time by d.
+func (m *Machine) Run(d Duration) { m.eng.RunFor(d) }
+
+// RunUntil advances simulated time to the absolute instant t.
+func (m *Machine) RunUntil(t Time) { m.eng.RunUntil(t) }
+
+// Shutdown unwinds all simulated threads; call when done (defer it).
+func (m *Machine) Shutdown() { m.k.Shutdown() }
+
+// AllCPUs returns a mask of every CPU.
+func (m *Machine) AllCPUs() CPUMask { return kernel.MaskAll(m.k.NumCPUs()) }
+
+// NewEnclave partitions the given CPUs into a ghOSt enclave (§3).
+func (m *Machine) NewEnclave(cpus CPUMask) *Enclave {
+	return ghostcore.NewEnclave(m.Ghost, cpus)
+}
+
+// StartGlobalAgent runs a centralized policy on the enclave: one global
+// agent on the enclave's first CPU plus inactive handoff agents (§3.3).
+func (m *Machine) StartGlobalAgent(enc *Enclave, p GlobalPolicy) *AgentSet {
+	return agentsdk.StartCentralized(m.k, enc, m.Agents, p)
+}
+
+// StartPerCPUAgents runs a per-CPU policy: one agent and message queue
+// per enclave CPU (§3.2).
+func (m *Machine) StartPerCPUAgents(enc *Enclave, p PerCPUPolicy) *AgentSet {
+	return agentsdk.StartPerCPU(m.k, enc, m.Agents, p)
+}
+
+// ThreadOpts configures thread creation.
+type ThreadOpts struct {
+	Name     string
+	Affinity CPUMask // zero = all CPUs
+	Nice     int
+	Tag      any
+}
+
+// SpawnThread creates a CFS-scheduled native thread.
+func (m *Machine) SpawnThread(o ThreadOpts, body ThreadFunc) *Thread {
+	return m.k.Spawn(kernel.SpawnOpts{
+		Name: o.Name, Class: m.CFS, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,
+	}, body)
+}
+
+// SpawnMicroQuanta creates a thread under the MicroQuanta soft-realtime
+// class (§4.3).
+func (m *Machine) SpawnMicroQuanta(o ThreadOpts, body ThreadFunc) *Thread {
+	if m.MicroQuanta == nil {
+		panic("ghost: machine built without MicroQuanta")
+	}
+	return m.k.Spawn(kernel.SpawnOpts{
+		Name: o.Name, Class: m.MicroQuanta, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,
+	}, body)
+}
+
+// SpawnGhostThread creates a thread managed by the enclave's policy. The
+// agent learns of it via THREAD_CREATED.
+func SpawnGhostThread(enc *Enclave, o ThreadOpts, body ThreadFunc) *Thread {
+	return enc.SpawnThread(kernel.SpawnOpts{
+		Name: o.Name, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,
+	}, body)
+}
+
+// Wake makes a blocked thread runnable.
+func (m *Machine) Wake(t *Thread) { m.k.Wake(t) }
+
+// Every invokes fn every period of simulated time (for drivers and
+// samplers).
+func (m *Machine) Every(period Duration, fn func(now Time)) {
+	sim.NewTicker(m.eng, period, fn)
+}
+
+// After invokes fn once, d from now.
+func (m *Machine) After(d Duration, fn func()) { m.eng.After(d, fn) }
+
+// IdleCPUs lists currently idle CPUs.
+func (m *Machine) IdleCPUs() []CPUID { return m.k.IdleCPUs() }

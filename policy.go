@@ -1,0 +1,73 @@
+package ghost
+
+import (
+	"ghost/internal/ghostcore"
+	"ghost/internal/kernel"
+	"ghost/internal/policies"
+)
+
+// The scheduling policies evaluated in the paper, re-exported. Each is a
+// GlobalPolicy (or PerCPUPolicy) implementation a downstream user can
+// run as-is or embed in their own policy.
+type (
+	// FIFOPolicy is the centralized FIFO of Fig 5 / §4.3 (priority
+	// bands, optional preemption of lower bands).
+	FIFOPolicy = policies.CentralFIFO
+	// ShinjukuPolicy is the preemptive µs-scale policy of §4.2.
+	ShinjukuPolicy = policies.Shinjuku
+	// SearchPolicy is the NUMA/CCX-aware least-runtime policy of §4.4.
+	SearchPolicy = policies.Search
+	// CoreSchedPolicy is the secure VM per-core policy of §4.5.
+	CoreSchedPolicy = policies.CoreSched
+	// PerCPUFIFOPolicy is the per-CPU model of Fig 3.
+	PerCPUFIFOPolicy = policies.PerCPUFIFO
+	// PolicyThreadState is the per-thread state a Tracker maintains.
+	PolicyThreadState = policies.TState
+	// PolicyTracker folds kernel messages into per-thread state;
+	// custom policies embed one.
+	PolicyTracker = policies.Tracker
+)
+
+// Policy constructors.
+var (
+	// NewFIFOPolicy builds the centralized FIFO policy.
+	NewFIFOPolicy = policies.NewCentralFIFO
+	// NewShinjukuPolicy builds the §4.2 policy (30 µs timeslice).
+	NewShinjukuPolicy = policies.NewShinjuku
+	// NewShinjukuShenangoPolicy adds batch-sharing (§4.2).
+	NewShinjukuShenangoPolicy = policies.NewShinjukuShenango
+	// NewSearchPolicy builds the §4.4 policy with all optimizations.
+	NewSearchPolicy = policies.NewSearch
+	// NewCoreSchedPolicy builds the §4.5 policy.
+	NewCoreSchedPolicy = policies.NewCoreSched
+	// NewPerCPUFIFOPolicy builds the Fig 3 per-CPU policy.
+	NewPerCPUFIFOPolicy = policies.NewPerCPUFIFO
+	// NewPolicyTracker builds a message tracker for custom policies.
+	NewPolicyTracker = policies.NewTracker
+)
+
+// SnapPolicy builds the §4.3 Snap policy: a two-band centralized FIFO
+// where threads selected by isWorker get strict priority (and preempt)
+// over everything else in the enclave.
+func SnapPolicy(isWorker func(t *Thread) bool) *FIFOPolicy {
+	p := policies.NewCentralFIFO()
+	p.NumBands = 2
+	p.PreemptLower = true
+	p.Band = func(t *kernel.Thread) int {
+		if isWorker(t) {
+			return 0
+		}
+		return 1
+	}
+	return p
+}
+
+// BPFRing is the shared ring the idle-time BPF fastpath pops from
+// (§3.2/§5); MultiRing fans out per domain.
+type (
+	BPFRing   = ghostcore.BPFRing
+	MultiRing = ghostcore.MultiRing
+)
+
+// NewBPFRing builds a fastpath ring for an enclave.
+var NewBPFRing = ghostcore.NewBPFRing
