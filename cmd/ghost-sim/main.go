@@ -21,16 +21,18 @@ import (
 
 func main() {
 	var (
-		machine = flag.String("machine", "xeon-e5", "machine: skylake, haswell, xeon-e5, rome")
-		sched   = flag.String("sched", "ghost-fifo", "scheduler: cfs, microquanta, ghost-fifo, ghost-shinjuku")
-		rate    = flag.Float64("rate", 100000, "request arrival rate (req/s)")
-		service = flag.Duration("service", 10*time.Microsecond, "request service time")
-		bimodal = flag.Bool("rocksdb", false, "use the paper's bimodal RocksDB service distribution")
-		workers = flag.Int("workers", 32, "worker pool size")
-		cpus    = flag.Int("cpus", 20, "CPUs for the workers (plus one for the agent)")
-		dur     = flag.Duration("dur", time.Second, "simulated duration")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		trace   = flag.Bool("trace", false, "dump kernel scheduling trace")
+		machine  = flag.String("machine", "xeon-e5", "machine: skylake, haswell, xeon-e5, rome")
+		sched    = flag.String("sched", "ghost-fifo", "scheduler: cfs, microquanta, ghost-fifo, ghost-shinjuku")
+		rate     = flag.Float64("rate", 100000, "request arrival rate (req/s)")
+		service  = flag.Duration("service", 10*time.Microsecond, "request service time")
+		bimodal  = flag.Bool("rocksdb", false, "use the paper's bimodal RocksDB service distribution")
+		workers  = flag.Int("workers", 32, "worker pool size")
+		cpus     = flag.Int("cpus", 20, "CPUs for the workers (plus one for the agent)")
+		dur      = flag.Duration("dur", time.Second, "simulated duration")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		traceLog = flag.Bool("tracelog", false, "dump the kernel's text scheduling trace to stdout")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)")
+		metrics  = flag.Bool("metrics", false, "print aggregate scheduling metrics after the run")
 	)
 	flag.Parse()
 
@@ -48,9 +50,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
 		os.Exit(1)
 	}
-	m := ghost.NewMachine(topo)
+	var opts []ghost.MachineOption
+	if *traceOut != "" {
+		opts = append(opts, ghost.WithTrace(ghost.NewTracer()))
+	}
+	m := ghost.NewMachine(topo, opts...)
 	defer m.Shutdown()
-	if *trace {
+	if *traceLog {
 		m.Kernel().TraceFn = func(s string) { fmt.Println(s) }
 	}
 
@@ -102,4 +108,25 @@ func main() {
 		*machine, *sched, *rate, *service, *workers, *cpus, *dur, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("completed: %d (%.0f req/s)\n", rec.Completed, rec.Throughput(m.Now()))
 	fmt.Printf("latency:   %s\n", rec.Hist.Percentiles())
+
+	if *metrics {
+		fmt.Print(m.Metrics())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := m.TraceTo(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:     %s (load at ui.perfetto.dev)\n", *traceOut)
+	}
 }

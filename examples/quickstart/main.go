@@ -22,7 +22,7 @@ func main() {
 	// Spawn ghOSt-managed threads: each serves 5 "requests".
 	for i := 0; i < 16; i++ {
 		i := i
-		ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: fmt.Sprintf("worker-%d", i)},
+		m.Spawn(ghost.ThreadOpts{Name: fmt.Sprintf("worker-%d", i), Class: ghost.Ghost(enc)},
 			func(tc *ghost.Task) {
 				for r := 0; r < 60; r++ {
 					tc.Run(20 * ghost.Microsecond) // do work
@@ -49,4 +49,8 @@ func main() {
 	m.Run(ghost.Millisecond)
 	fmt.Printf("after crash: enclave destroyed=%v, reason=%q — threads now run under CFS\n",
 		enc.Destroyed(), enc.DestroyedFor)
+
+	// The machine aggregates scheduling metrics the whole time (build
+	// with ghost.WithTrace to also record a Perfetto timeline).
+	fmt.Print(m.Metrics())
 }

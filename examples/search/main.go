@@ -19,7 +19,7 @@ func run(useGhost bool) [3]sim.Duration {
 	cfg.SamplePeriod = 200 * sim.Millisecond
 
 	spawnServer := func(name string, body ghost.ThreadFunc) *ghost.Thread {
-		return m.SpawnThread(ghost.ThreadOpts{Name: name}, body)
+		return m.Spawn(ghost.ThreadOpts{Name: name}, body)
 	}
 	var s *workload.Search
 	if useGhost {
@@ -27,12 +27,12 @@ func run(useGhost bool) [3]sim.Duration {
 		m.StartGlobalAgent(enc, ghost.NewSearchPolicy())
 		s = workload.NewSearch(m.Kernel(), cfg,
 			func(name string, aff ghost.CPUMask, body ghost.ThreadFunc) *ghost.Thread {
-				return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name, Affinity: aff}, body)
+				return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: aff, Class: ghost.Ghost(enc)}, body)
 			}, spawnServer)
 	} else {
 		s = workload.NewSearch(m.Kernel(), cfg,
 			func(name string, aff ghost.CPUMask, body ghost.ThreadFunc) *ghost.Thread {
-				return m.SpawnThread(ghost.ThreadOpts{Name: name, Affinity: aff}, body)
+				return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: aff}, body)
 			}, spawnServer)
 	}
 	m.Run(2 * ghost.Second)

@@ -37,7 +37,7 @@ func run(scheduler string) (sim.Time, uint64) {
 	case "cfs":
 		set = workload.NewVMSet(m.Kernel(), 4, 8, work, 500*ghost.Microsecond,
 			func(name string, tag any, body ghost.ThreadFunc) *ghost.Thread {
-				return m.SpawnThread(ghost.ThreadOpts{Name: name, Affinity: mask, Tag: tag}, body)
+				return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask, Tag: tag}, body)
 			})
 	case "kernel-coresched":
 		cs := baselines.NewKernelCoreSched(m.Kernel(), workload.VMOf)
@@ -50,7 +50,7 @@ func run(scheduler string) (sim.Time, uint64) {
 		m.StartGlobalAgent(enc, ghost.NewCoreSchedPolicy(workload.VMOf))
 		set = workload.NewVMSet(m.Kernel(), 4, 8, work, 500*ghost.Microsecond,
 			func(name string, tag any, body ghost.ThreadFunc) *ghost.Thread {
-				return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name, Affinity: mask, Tag: tag}, body)
+				return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask, Tag: tag, Class: ghost.Ghost(enc)}, body)
 			})
 	}
 	m.Run(60 * work)

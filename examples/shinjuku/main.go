@@ -29,7 +29,7 @@ func run(preemptive bool, rate float64) *workload.LatencyRecorder {
 
 	rec := &workload.LatencyRecorder{WarmupUntil: 100 * sim.Millisecond}
 	pool := workload.NewWorkerPool(m.Kernel(), 200, rec, func(name string, body ghost.ThreadFunc) *ghost.Thread {
-		return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name}, body)
+		return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
 	})
 	workload.NewPoissonSource(m.Kernel().Engine(), sim.NewRand(7), rate,
 		workload.RocksDBService(), pool.Submit)

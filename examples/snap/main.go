@@ -24,7 +24,7 @@ func run(useGhost bool) (*workload.LatencyRecorder, *workload.LatencyRecorder) {
 
 	cfg := workload.DefaultSnapConfig()
 	spawnServer := func(name string, body ghost.ThreadFunc) *ghost.Thread {
-		return m.SpawnThread(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
+		return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
 	}
 
 	var snap *workload.Snap
@@ -33,18 +33,18 @@ func run(useGhost bool) (*workload.LatencyRecorder, *workload.LatencyRecorder) {
 		pol := ghost.SnapPolicy(func(t *ghost.Thread) bool { return t.Name() != "antagonist" })
 		m.StartGlobalAgent(enc, pol)
 		snap = workload.NewSnap(m.Kernel(), cfg, func(name string, body ghost.ThreadFunc) *ghost.Thread {
-			return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name}, body)
+			return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
 		}, spawnServer)
 		for i := 0; i < 40; i++ {
-			ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: "antagonist"},
+			m.Spawn(ghost.ThreadOpts{Name: "antagonist", Class: ghost.Ghost(enc)},
 				workload.Spinner(100*ghost.Microsecond))
 		}
 	} else {
 		snap = workload.NewSnap(m.Kernel(), cfg, func(name string, body ghost.ThreadFunc) *ghost.Thread {
-			return m.SpawnMicroQuanta(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
+			return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask, Class: ghost.MicroQuanta}, body)
 		}, spawnServer)
 		for i := 0; i < 40; i++ {
-			m.SpawnThread(ghost.ThreadOpts{Name: "antagonist", Affinity: mask, Nice: 19},
+			m.Spawn(ghost.ThreadOpts{Name: "antagonist", Affinity: mask, Nice: 19},
 				workload.Spinner(100*ghost.Microsecond))
 		}
 	}

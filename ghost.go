@@ -30,6 +30,7 @@ import (
 	"ghost/internal/kernel"
 	"ghost/internal/sim"
 	"ghost/internal/stats"
+	"ghost/internal/trace"
 )
 
 // Re-exported simulated-time types and units.
@@ -150,3 +151,17 @@ type (
 
 // Histogram records latency distributions.
 type Histogram = stats.Histogram
+
+// Observability types (see the Observability section of the README).
+type (
+	// Tracer records scheduling events and aggregate metrics; attach
+	// one with WithTrace and export it with Machine.TraceTo.
+	Tracer = trace.Tracer
+	// Metrics is an aggregate snapshot returned by Machine.Metrics.
+	Metrics = trace.Metrics
+	// EnclaveMetrics holds per-enclave counters and latency histograms.
+	EnclaveMetrics = trace.EnclaveMetrics
+)
+
+// NewTracer creates a full event tracer for WithTrace.
+var NewTracer = trace.New

@@ -322,12 +322,17 @@ func (r *runner) Step(now sim.Time) (sim.Duration, kernel.Disposition) {
 // delivery latency.
 func (r *runner) drain(q *ghostcore.Queue, now sim.Time) ([]ghostcore.Message, sim.Duration) {
 	cm := r.set.k.Cost()
+	tr := r.set.k.Tracer()
 	msgs := q.Drain()
 	cost := sim.Duration(len(msgs)) * cm.MsgDequeue
 	for _, m := range msgs {
 		// Delivery latency in the Table 3 sense: producing the message,
 		// any wakeup/propagation delay, and consuming it.
-		r.set.MsgDelivery.Record(now - m.Posted + cm.MsgEnqueue + cm.MsgDequeue)
+		lat := now - m.Posted + cm.MsgEnqueue + cm.MsgDequeue
+		r.set.MsgDelivery.Record(lat)
+		if tr != nil {
+			tr.MsgDelivered(now, r.set.enc.ID(), r.cpu, m.Type.String(), uint64(m.TID), lat)
+		}
 	}
 	return msgs, cost
 }
@@ -337,6 +342,7 @@ func (r *runner) globalStep(now sim.Time) (sim.Duration, kernel.Disposition) {
 	set := r.set
 	cm := set.k.Cost()
 	cost := cm.AgentLoopOverhead
+	committed := 0
 
 	msgs, c1 := r.drain(set.globalQueue, now)
 	cost += c1
@@ -369,6 +375,7 @@ func (r *runner) globalStep(now sim.Time) (sim.Duration, kernel.Disposition) {
 			}
 		}
 		if n > 0 {
+			committed = n
 			cost += cm.Syscall + cm.RemoteCommitAgentCost(n)
 			if len(plain) > 0 {
 				set.enc.TxnsCommit(r.agent, plain)
@@ -384,6 +391,9 @@ func (r *runner) globalStep(now sim.Time) (sim.Duration, kernel.Disposition) {
 				set.reportTxns(groups[gid], groupAsg[gid])
 			}
 		}
+	}
+	if tr := set.k.Tracer(); tr != nil {
+		tr.AgentStep(now, set.enc.ID(), r.cpu, cost, len(msgs), committed, "global")
 	}
 	return cost, kernel.DispSpin
 }
@@ -409,12 +419,21 @@ func (r *runner) localStep(now sim.Time) (sim.Duration, kernel.Disposition) {
 	cm := set.k.Cost()
 	cost := cm.AgentLoopOverhead
 	aseq := r.agent.Seq()
+	drained := 0
+	// span emits the wake→decision→commit span for this step on the
+	// agent's trace track.
+	span := func(txns int) {
+		if tr := set.k.Tracer(); tr != nil {
+			tr.AgentStep(now, set.enc.ID(), r.cpu, cost, drained, txns, "local")
+		}
+	}
 
 	// The first CPU's agent also drains the default queue, assigning
 	// new threads to CPUs.
 	if r.cpu == set.enc.CPUs().CPUs()[0] {
 		dmsgs, dc := r.drain(set.enc.DefaultQueue(), now)
 		cost += dc
+		drained += len(dmsgs)
 		for _, m := range dmsgs {
 			if m.Type == ghostcore.MsgThreadCreated {
 				if t := set.k.Thread(m.TID); t != nil {
@@ -445,6 +464,7 @@ func (r *runner) localStep(now sim.Time) (sim.Duration, kernel.Disposition) {
 
 	msgs, mc := r.drain(r.queue, now)
 	cost += mc
+	drained += len(msgs)
 	for _, m := range msgs {
 		set.percpu.OnMessage(set.ctx, r.cpu, m)
 	}
@@ -452,11 +472,13 @@ func (r *runner) localStep(now sim.Time) (sim.Duration, kernel.Disposition) {
 	if set.enc.LatchedFor(r.cpu) != nil {
 		// A previous commit has not switched in yet (the agent was
 		// re-woken before yielding); let it take effect.
+		span(0)
 		return cost, kernel.DispBlock
 	}
 
 	next := set.percpu.PickNext(set.ctx, r.cpu)
 	if next == nil {
+		span(0)
 		return cost, kernel.DispBlock
 	}
 	txn := set.enc.TxnCreate(next.TID(), r.cpu)
@@ -465,6 +487,7 @@ func (r *runner) localStep(now sim.Time) (sim.Duration, kernel.Disposition) {
 	// with the context switch this reproduces Table 3 line 3 (888 ns).
 	cost += cm.LocalSchedule - cm.ContextSwitchMinimal
 	set.enc.TxnsCommit(r.agent, []*ghostcore.Txn{txn})
+	span(1)
 	switch txn.Status {
 	case ghostcore.TxnCommitted:
 		set.TxnsCommitted++

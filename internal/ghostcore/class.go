@@ -140,6 +140,11 @@ func (g *Class) postThreadMsg(t *kernel.Thread, mt MsgType) {
 	gt.sw.CPU = t.OnCPU()
 	gt.pendingMsgs++
 	g.MsgsPosted++
+	if mt == MsgThreadPreempted {
+		if tr := g.k.Tracer(); tr != nil {
+			tr.Preemption(g.k.Now(), gt.enc.id, uint64(t.TID()), t.LastCPU())
+		}
+	}
 	gt.q.post(Message{
 		Type:     mt,
 		TID:      t.TID(),
@@ -312,6 +317,9 @@ func (g *Class) onIdle(c *kernel.CPU) {
 	gt.runnable = false
 	g.slots[c.ID] = t
 	g.BPFCommits++
+	if tr := g.k.Tracer(); tr != nil {
+		tr.BPFCommit(g.k.Now(), enc.id, uint64(t.TID()), c.ID)
+	}
 	g.k.Resched(c.ID)
 }
 

@@ -349,6 +349,11 @@ func (e *Enclave) TxnsCommit(a *Agent, txns []*Txn) {
 		return
 	}
 	n := len(txns)
+	if n > 1 {
+		if tr := e.k.Tracer(); tr != nil {
+			tr.GroupCommit(e.k.Now(), e.id, n, false)
+		}
+	}
 	for _, txn := range txns {
 		e.commitOne(a, txn, n)
 	}
@@ -365,20 +370,31 @@ func (e *Enclave) TxnsCommitAtomic(a *Agent, txns []*Txn) bool {
 		}
 		return false
 	}
+	tr := e.k.Tracer()
 	for _, txn := range txns {
-		if s := e.validate(a, txn); s != TxnCommitted {
+		if s, cause := e.validate(a, txn); s != TxnCommitted {
 			txn.Status = s
 			e.g.TxnsFailed++
+			if tr != nil {
+				tr.TxnFailed(e.k.Now(), e.id, uint64(txn.TID), txn.CPU, s.String(), cause)
+			}
 			for _, other := range txns {
 				if other != txn && other.Status == TxnPending {
 					other.Status = TxnInvalid
 					e.g.TxnsFailed++
+					if tr != nil {
+						tr.TxnFailed(e.k.Now(), e.id, uint64(other.TID), other.CPU,
+							TxnInvalid.String(), "group-abort")
+					}
 				}
 			}
 			return false
 		}
 	}
 	n := len(txns)
+	if tr != nil {
+		tr.GroupCommit(e.k.Now(), e.id, n, true)
+	}
 	for _, txn := range txns {
 		e.apply(a, txn, n)
 	}
@@ -415,31 +431,32 @@ func (e *Enclave) PreemptCPU(cpu hw.CPUID) {
 	}
 }
 
-// validate checks a transaction without side effects.
-func (e *Enclave) validate(a *Agent, txn *Txn) TxnStatus {
+// validate checks a transaction without side effects. The second return
+// is the ESTALE cause ("aseq" or "tseq") for tracing, empty otherwise.
+func (e *Enclave) validate(a *Agent, txn *Txn) (TxnStatus, string) {
 	g := e.g
 	t := e.k.Thread(txn.TID)
 	if t == nil {
-		return TxnInvalid
+		return TxnInvalid, ""
 	}
 	gt := gstate(t)
 	if gt == nil || gt.enc != e {
-		return TxnInvalid
+		return TxnInvalid, ""
 	}
 	if !e.cpus.Has(txn.CPU) {
-		return TxnCPUNotAvail
+		return TxnCPUNotAvail, ""
 	}
 	if txn.AgentSeq != 0 && a != nil && a.aseq > txn.AgentSeq {
-		return TxnESTALE
+		return TxnESTALE, "aseq"
 	}
 	if txn.ThreadSeq != 0 && gt.tseq > txn.ThreadSeq {
-		return TxnESTALE
+		return TxnESTALE, "tseq"
 	}
 	if t.State() != kernel.StateRunnable || !gt.runnable || gt.latched {
-		return TxnThreadNotRunnable
+		return TxnThreadNotRunnable, ""
 	}
 	if !t.Affinity().Has(txn.CPU) {
-		return TxnAffinityViolation
+		return TxnAffinityViolation, ""
 	}
 	target := e.k.CPU(txn.CPU)
 	local := a != nil && a.cpu == txn.CPU
@@ -447,18 +464,21 @@ func (e *Enclave) validate(a *Agent, txn *Txn) TxnStatus {
 		if curr := target.Curr(); curr != nil && curr.Class() != kernel.Class(g) {
 			// Occupied by a higher class (CFS, agents, ...): the commit
 			// would never take effect promptly; fail fast.
-			return TxnCPUNotAvail
+			return TxnCPUNotAvail, ""
 		}
 	}
-	return TxnCommitted
+	return TxnCommitted, ""
 }
 
 // commitOne validates one transaction and, if accepted, latches the
 // thread and schedules the install on the target CPU.
 func (e *Enclave) commitOne(a *Agent, txn *Txn, groupSize int) {
-	if s := e.validate(a, txn); s != TxnCommitted {
+	if s, cause := e.validate(a, txn); s != TxnCommitted {
 		txn.Status = s
 		e.g.TxnsFailed++
+		if tr := e.k.Tracer(); tr != nil {
+			tr.TxnFailed(e.k.Now(), e.id, uint64(txn.TID), txn.CPU, s.String(), cause)
+		}
 		return
 	}
 	e.apply(a, txn, groupSize)
@@ -506,12 +526,26 @@ func (e *Enclave) apply(a *Agent, txn *Txn, groupSize int) {
 		g.slots[txn.CPU] = t
 		e.k.Resched(txn.CPU)
 	}
+	tr := e.k.Tracer()
 	if local {
+		if tr != nil {
+			// Local commit-to-run latency is the Table 3 local-schedule
+			// path (validation + dispatch + context switch).
+			tr.TxnCommitted(e.k.Now(), e.id, uint64(txn.TID), txn.CPU, groupSize,
+				true, e.k.Cost().LocalSchedule)
+		}
 		install()
 		return
 	}
 	cross := a != nil && e.k.Topology().Dist(a.cpu, txn.CPU) == hw.DistRemote
 	delay := e.k.Cost().RemoteCommitTargetCost(groupSize, cross)
+	if tr != nil {
+		// Remote commit-to-run latency: this transaction's share of the
+		// agent-side group commit plus the IPI/target install cost.
+		lat := e.k.Cost().RemoteCommitAgentCost(groupSize)/sim.Duration(groupSize) + delay
+		tr.TxnCommitted(e.k.Now(), e.id, uint64(txn.TID), txn.CPU, groupSize, false, lat)
+		tr.IPI(e.k.Now(), txn.CPU, delay, groupSize)
+	}
 	e.k.Engine().After(delay, install)
 }
 
@@ -542,6 +576,9 @@ func (e *Enclave) TxnsRecall(txns []*Txn) int {
 			e.g.inflight[txn.CPU] = nil
 		}
 		txn.Status = TxnRecalled
+		if tr := e.k.Tracer(); tr != nil {
+			tr.TxnRecalled(e.k.Now(), e.id, uint64(txn.TID), txn.CPU)
+		}
 		n++
 	}
 	return n
@@ -575,6 +612,9 @@ func (e *Enclave) DestroyWith(reason string) {
 	}
 	e.destroyed = true
 	e.DestroyedFor = reason
+	if tr := e.k.Tracer(); tr != nil {
+		tr.EnclaveEvent(e.k.Now(), e.id, "destroy", reason)
+	}
 	if e.watchdog != nil {
 		e.watchdog.Stop()
 		e.watchdog = nil
@@ -622,6 +662,9 @@ func (e *Enclave) EnableWatchdog(timeout sim.Duration) {
 		panic("ghostcore: watchdog timeout must be positive")
 	}
 	e.WatchdogTimeout = timeout
+	if tr := e.k.Tracer(); tr != nil {
+		tr.EnclaveEvent(e.k.Now(), e.id, "watchdog-armed", timeout.String())
+	}
 	period := timeout / 4
 	if period < sim.Millisecond {
 		period = sim.Millisecond
@@ -633,6 +676,9 @@ func (e *Enclave) EnableWatchdog(timeout sim.Duration) {
 		for _, t := range e.threads {
 			gt := gstate(t)
 			if gt != nil && gt.runnable && !gt.latched && now-gt.runnableSince > e.WatchdogTimeout {
+				if tr := e.k.Tracer(); tr != nil {
+					tr.EnclaveEvent(now, e.id, "watchdog-fired", t.Name())
+				}
 				e.DestroyWith(fmt.Sprintf("watchdog: %v runnable for %v", t, now-gt.runnableSince))
 				return
 			}

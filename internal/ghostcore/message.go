@@ -100,6 +100,9 @@ func (q *Queue) post(m Message) {
 	}
 	m.Posted = q.enc.k.Now()
 	q.msgs = append(q.msgs, m)
+	if tr := q.enc.k.Tracer(); tr != nil {
+		tr.MsgPosted(m.Posted, q.enc.id, q.name, m.Type.String(), uint64(m.TID), len(q.msgs))
+	}
 	if q.seqAgent != nil {
 		q.seqAgent.aseq++
 		q.seqAgent.sw.Seq = q.seqAgent.aseq

@@ -15,6 +15,7 @@ import (
 
 	"ghost/internal/hw"
 	"ghost/internal/sim"
+	"ghost/internal/trace"
 )
 
 // Kernel is a simulated kernel instance for one machine.
@@ -38,6 +39,9 @@ type Kernel struct {
 
 	// TraceFn, when set, receives a line per scheduling event.
 	TraceFn func(string)
+
+	// tr is the structured tracer; nil disables all instrumentation.
+	tr *trace.Tracer
 
 	shutdown bool
 }
@@ -73,6 +77,38 @@ func New(eng *sim.Engine, topo *hw.Topology, cost hw.CostModel) *Kernel {
 
 // Engine returns the simulation engine.
 func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// SetTracer attaches a structured tracer (nil detaches). The ghOSt core
+// and agent SDK read it back with Tracer, so one tracer observes the
+// whole stack.
+func (k *Kernel) SetTracer(tr *trace.Tracer) {
+	k.tr = tr
+	// The engine meters its own dispatch counts (Engine.Executed,
+	// Engine.MaxQueue); the per-dispatch callback is only worth its cost
+	// when a full event timeline is being recorded.
+	if tr.Enabled() {
+		k.eng.OnDispatch = tr.EngineDispatch
+	} else {
+		k.eng.OnDispatch = nil
+	}
+}
+
+// Tracer returns the attached tracer; nil when tracing is off. All
+// trace.Tracer emit methods are nil-safe.
+func (k *Kernel) Tracer() *trace.Tracer { return k.tr }
+
+// traceCPU records c's current-thread transition with the tracer: a new
+// run slice when a thread is installed, a slice close when it idles.
+func (k *Kernel) traceCPU(c *CPU) {
+	if k.tr == nil {
+		return
+	}
+	if t := c.curr; t != nil {
+		k.tr.CPURun(k.eng.Now(), c.ID, uint64(t.tid), t.name, t.class.Name())
+	} else {
+		k.tr.CPUIdle(k.eng.Now(), c.ID)
+	}
+}
 
 // Topology returns the machine topology.
 func (k *Kernel) Topology() *hw.Topology { return k.topo }
@@ -242,6 +278,9 @@ func (k *Kernel) makeRunnable(t *Thread, r EnqueueReason) {
 		cpu = t.lastCPU
 	}
 	t.targetCPU = cpu
+	if r == EnqWake && k.tr != nil {
+		k.tr.Wakeup(k.eng.Now(), cpu, uint64(t.tid), t.name)
+	}
 	t.class.Enqueue(t, cpu, r)
 	k.maybePreempt(k.cpus[cpu], t)
 }
@@ -384,6 +423,7 @@ func (k *Kernel) cpuIdle(c *CPU) {
 		return
 	}
 	c.accountIdle()
+	k.traceCPU(c)
 	k.Tracef("cpu%d idle", c.ID)
 	for _, h := range k.idleHooks {
 		h(c)
@@ -410,6 +450,7 @@ func (k *Kernel) switchTo(c *CPU, next *Thread) {
 	c.switches++
 	c.curr = next
 	c.accountBusy()
+	k.traceCPU(c)
 	// Cache-warmth penalty: one-time extra work after a migration.
 	if next.lastCPU != hw.NoCPU && next.pendingWork > 0 {
 		next.pendingWork += k.cost.MigrationPenalty(k.topo.Dist(next.lastCPU, c.ID))

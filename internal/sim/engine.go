@@ -108,6 +108,16 @@ type Engine struct {
 
 	// Executed counts events that have fired, for diagnostics.
 	Executed uint64
+
+	// MaxQueue is the high-water mark of the pending-event queue,
+	// sampled at each dispatch.
+	MaxQueue int
+
+	// OnDispatch, when non-nil, observes every event dispatch with the
+	// current time and the number of events still queued. The tracing
+	// subsystem uses it to meter engine activity; it must not schedule
+	// or cancel events.
+	OnDispatch func(now Time, queued int)
 }
 
 // NewEngine returns an engine with an empty event queue at time zero.
@@ -169,6 +179,12 @@ func (e *Engine) step(limit Time) bool {
 		}
 		e.now = next.At
 		e.Executed++
+		if n := len(e.queue); n > e.MaxQueue {
+			e.MaxQueue = n
+		}
+		if e.OnDispatch != nil {
+			e.OnDispatch(e.now, len(e.queue))
+		}
 		next.Fn()
 		return true
 	}

@@ -22,6 +22,12 @@ type Histogram struct {
 	sum    float64
 	min    sim.Duration
 	max    sim.Duration
+
+	// memoized bucketOf result: simulation latencies are modeled costs
+	// that repeat the same handful of values, so this skips the Log10 on
+	// the vast majority of records.
+	memoVal    sim.Duration
+	memoBucket int
 }
 
 const (
@@ -54,8 +60,12 @@ func (h *Histogram) Record(d sim.Duration) {
 	if h.counts == nil {
 		h.counts = make([]uint64, histBuckets)
 		h.min = math.MaxInt64
+		h.memoVal = -1
 	}
-	h.counts[bucketOf(d)]++
+	if d != h.memoVal {
+		h.memoVal, h.memoBucket = d, bucketOf(d)
+	}
+	h.counts[h.memoBucket]++
 	h.total++
 	h.sum += float64(d)
 	if d < h.min {

@@ -18,9 +18,14 @@ func NewMeter(now sim.Time) *Meter {
 	return &Meter{start: now, last: now}
 }
 
-// Add records n events at time now.
+// Add records n events at time now. Events timestamped before the
+// window start grow the window backwards: counting them against an
+// unchanged divisor would silently inflate Rate.
 func (m *Meter) Add(now sim.Time, n uint64) {
 	m.count += n
+	if now < m.start {
+		m.start = now
+	}
 	if now > m.last {
 		m.last = now
 	}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ghost/internal/sim"
+)
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter(0)
+	m.Add(500*sim.Microsecond, 50)
+	got := m.Rate(sim.Millisecond)
+	want := 50 / sim.Millisecond.Seconds()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Rate = %v, want %v", got, want)
+	}
+}
+
+// Adds timestamped before the window start must widen the window, not
+// inflate the rate: a meter started at t=1ms that absorbs an event
+// stamped t=0 should divide by the full 0..now span.
+func TestMeterAddBeforeStart(t *testing.T) {
+	m := NewMeter(sim.Millisecond)
+	m.Add(0, 100)
+	got := m.Rate(2 * sim.Millisecond)
+	want := 100 / (2 * sim.Millisecond).Seconds()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Rate after early Add = %v, want %v (window must grow back to the early event)", got, want)
+	}
+	if m.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", m.Count())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(0)
+	m.Add(sim.Millisecond, 10)
+	m.Reset(2 * sim.Millisecond)
+	if m.Count() != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", m.Count())
+	}
+	m.Add(3*sim.Millisecond, 4)
+	got := m.Rate(4 * sim.Millisecond)
+	want := 4 / (2 * sim.Millisecond).Seconds()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Rate after Reset = %v, want %v", got, want)
+	}
+}
+
+func TestMeterRateEmptyWindow(t *testing.T) {
+	m := NewMeter(sim.Millisecond)
+	if r := m.Rate(sim.Millisecond); r != 0 {
+		t.Fatalf("Rate over empty window = %v, want 0", r)
+	}
+	if r := m.Rate(0); r != 0 {
+		t.Fatalf("Rate with now before start = %v, want 0", r)
+	}
+}

@@ -1,11 +1,14 @@
 package ghost
 
 import (
+	"io"
+
 	"ghost/internal/agentsdk"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
 	"ghost/internal/sim"
+	"ghost/internal/trace"
 )
 
 // Machine is a simulated host: engine, kernel, the standard scheduling
@@ -15,9 +18,10 @@ import (
 type Machine struct {
 	eng *sim.Engine
 	k   *kernel.Kernel
+	tr  *trace.Tracer
 
-	// CFS is the default scheduler; threads spawned with SpawnThread
-	// run under it.
+	// CFS is the default scheduler; threads spawned with the zero
+	// ThreadOpts.Class run under it.
 	CFS *kernel.CFS
 	// MicroQuanta is the soft real-time class of §4.3.
 	MicroQuanta *kernel.MicroQuanta
@@ -27,7 +31,54 @@ type Machine struct {
 	Ghost *ghostcore.Class
 }
 
+// machineConfig collects the effects of MachineOptions.
+type machineConfig struct {
+	cost          hw.CostModel
+	noMicroQuanta bool
+	tracer        *trace.Tracer
+}
+
+// MachineOption customizes NewMachine. Options are applied in order;
+// later options win. The deprecated MachineOpts struct also satisfies
+// this interface, so legacy call sites keep compiling.
+type MachineOption interface {
+	applyMachine(*machineConfig)
+}
+
+type machineOptionFunc func(*machineConfig)
+
+func (f machineOptionFunc) applyMachine(c *machineConfig) { f(c) }
+
+// WithCostModel overrides the default (Table 3) cost model.
+func WithCostModel(cm CostModel) MachineOption {
+	return machineOptionFunc(func(c *machineConfig) { c.cost = cm })
+}
+
+// WithTrace attaches a full event tracer (see NewTracer): every context
+// switch, message, transaction and agent span is recorded, for export
+// with Machine.TraceTo. Without this option the machine still keeps
+// aggregate Metrics, but records no events.
+func WithTrace(tr *Tracer) MachineOption {
+	return machineOptionFunc(func(c *machineConfig) { c.tracer = tr })
+}
+
+// WithoutMicroQuanta omits the MicroQuanta class from the stack.
+func WithoutMicroQuanta() MachineOption {
+	return machineOptionFunc(func(c *machineConfig) { c.noMicroQuanta = true })
+}
+
+// WithoutMetrics disables even aggregate metrics collection, detaching
+// the tracer entirely. This is the true zero-instrumentation baseline
+// used by the overhead benchmarks.
+func WithoutMetrics() MachineOption {
+	return machineOptionFunc(func(c *machineConfig) { c.tracer = nil })
+}
+
 // MachineOpts customizes machine construction.
+//
+// Deprecated: pass MachineOptions (WithCostModel, WithoutMicroQuanta,
+// WithTrace) to NewMachine instead. MachineOpts remains accepted by
+// NewMachine for backward compatibility.
 type MachineOpts struct {
 	// Cost overrides the default (Table 3) cost model.
 	Cost *hw.CostModel
@@ -35,22 +86,31 @@ type MachineOpts struct {
 	NoMicroQuanta bool
 }
 
-// NewMachine builds a machine with the full class stack on the given
-// topology.
-func NewMachine(topo *hw.Topology, opts ...MachineOpts) *Machine {
-	var o MachineOpts
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	cost := hw.DefaultCostModel()
+func (o MachineOpts) applyMachine(c *machineConfig) {
 	if o.Cost != nil {
-		cost = *o.Cost
+		c.cost = *o.Cost
+	}
+	c.noMicroQuanta = o.NoMicroQuanta
+}
+
+// NewMachine builds a machine with the full class stack on the given
+// topology. By default the machine collects aggregate scheduling
+// metrics (Machine.Metrics); add WithTrace to also record a
+// Perfetto-loadable event trace.
+func NewMachine(topo *hw.Topology, opts ...MachineOption) *Machine {
+	cfg := machineConfig{
+		cost:   hw.DefaultCostModel(),
+		tracer: trace.NewMetricsOnly(),
+	}
+	for _, o := range opts {
+		o.applyMachine(&cfg)
 	}
 	eng := sim.NewEngine()
-	k := kernel.New(eng, topo, cost)
-	m := &Machine{eng: eng, k: k}
+	k := kernel.New(eng, topo, cfg.cost)
+	m := &Machine{eng: eng, k: k, tr: cfg.tracer}
+	k.SetTracer(cfg.tracer)
 	m.Agents = kernel.NewAgentClass(k)
-	if !o.NoMicroQuanta {
+	if !cfg.noMicroQuanta {
 		m.MicroQuanta = kernel.NewMicroQuanta(k)
 	}
 	m.CFS = kernel.NewCFS(k)
@@ -63,6 +123,28 @@ func (m *Machine) Kernel() *kernel.Kernel { return m.k }
 
 // Topology returns the machine topology.
 func (m *Machine) Topology() *hw.Topology { return m.k.Topology() }
+
+// Tracer returns the machine's tracer (nil with WithoutMetrics).
+func (m *Machine) Tracer() *Tracer { return m.tr }
+
+// Metrics returns a snapshot of the aggregate scheduling metrics
+// collected so far: context switches, wakeups, IPIs, and per-enclave
+// message/transaction/agent latency histograms. Returns an empty
+// snapshot when metrics are disabled.
+func (m *Machine) Metrics() *Metrics {
+	ms := m.tr.Metrics()
+	// The engine meters itself; its counts are authoritative regardless
+	// of tracer mode.
+	ms.EngineEvents = m.eng.Executed
+	ms.EngineMaxQueue = m.eng.MaxQueue
+	return ms
+}
+
+// TraceTo writes the recorded event trace as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. The
+// machine must have been built with WithTrace for events to be present;
+// otherwise the output is a valid but empty trace.
+func (m *Machine) TraceTo(w io.Writer) error { return m.tr.WriteJSON(w) }
 
 // Now returns the current simulated time.
 func (m *Machine) Now() Time { return m.eng.Now() }
@@ -79,9 +161,33 @@ func (m *Machine) Shutdown() { m.k.Shutdown() }
 // AllCPUs returns a mask of every CPU.
 func (m *Machine) AllCPUs() CPUMask { return kernel.MaskAll(m.k.NumCPUs()) }
 
+// EnclaveOption customizes NewEnclave.
+type EnclaveOption func(*Enclave)
+
+// WithWatchdog arms the enclave watchdog (§3.5): if no agent consumes
+// messages for d, the enclave is destroyed and its threads fall back to
+// CFS.
+func WithWatchdog(d Duration) EnclaveOption {
+	return func(e *Enclave) { e.EnableWatchdog(d) }
+}
+
+// WithTicks enables TIMER_TICK message delivery to agents (§3.1).
+func WithTicks() EnclaveOption {
+	return func(e *Enclave) { e.DeliverTicks = true }
+}
+
+// WithBPF installs the BPF idle fastpath program (§3.2).
+func WithBPF(p BPFProgram) EnclaveOption {
+	return func(e *Enclave) { e.SetBPF(p) }
+}
+
 // NewEnclave partitions the given CPUs into a ghOSt enclave (§3).
-func (m *Machine) NewEnclave(cpus CPUMask) *Enclave {
-	return ghostcore.NewEnclave(m.Ghost, cpus)
+func (m *Machine) NewEnclave(cpus CPUMask, opts ...EnclaveOption) *Enclave {
+	e := ghostcore.NewEnclave(m.Ghost, cpus)
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // StartGlobalAgent runs a centralized policy on the enclave: one global
@@ -96,34 +202,80 @@ func (m *Machine) StartPerCPUAgents(enc *Enclave, p PerCPUPolicy) *AgentSet {
 	return agentsdk.StartPerCPU(m.k, enc, m.Agents, p)
 }
 
+// ThreadClass selects the scheduling class a thread is spawned under.
+// The zero value is CFS.
+type ThreadClass struct {
+	kind int // 0 = CFS, 1 = MicroQuanta, 2 = ghOSt
+	enc  *Enclave
+}
+
+// Thread class selectors for ThreadOpts.Class.
+var (
+	// CFS runs the thread under the default scheduler (the zero value,
+	// so it may be omitted).
+	CFS ThreadClass
+	// MicroQuanta runs the thread under the soft real-time class (§4.3).
+	MicroQuanta = ThreadClass{kind: 1}
+)
+
+// Ghost runs the thread under the enclave's policy; the agent learns of
+// it via THREAD_CREATED.
+func Ghost(enc *Enclave) ThreadClass { return ThreadClass{kind: 2, enc: enc} }
+
 // ThreadOpts configures thread creation.
 type ThreadOpts struct {
 	Name     string
-	Affinity CPUMask // zero = all CPUs
-	Nice     int
-	Tag      any
+	Affinity CPUMask     // zero = all CPUs
+	Nice     int         // CFS weight adjustment
+	Tag      any         // opaque label policies can read
+	Class    ThreadClass // scheduling class; zero = CFS
+}
+
+// Spawn creates a simulated thread under the class selected by
+// o.Class: CFS (default), MicroQuanta, or Ghost(enc).
+func (m *Machine) Spawn(o ThreadOpts, body ThreadFunc) *Thread {
+	so := kernel.SpawnOpts{
+		Name: o.Name, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,
+	}
+	switch o.Class.kind {
+	case 1:
+		if m.MicroQuanta == nil {
+			panic("ghost: machine built without MicroQuanta")
+		}
+		so.Class = m.MicroQuanta
+		return m.k.Spawn(so, body)
+	case 2:
+		if o.Class.enc == nil {
+			panic("ghost: Ghost thread class with nil enclave")
+		}
+		return o.Class.enc.SpawnThread(so, body)
+	default:
+		so.Class = m.CFS
+		return m.k.Spawn(so, body)
+	}
 }
 
 // SpawnThread creates a CFS-scheduled native thread.
+//
+// Deprecated: use Spawn (ThreadOpts.Class zero value selects CFS).
 func (m *Machine) SpawnThread(o ThreadOpts, body ThreadFunc) *Thread {
-	return m.k.Spawn(kernel.SpawnOpts{
-		Name: o.Name, Class: m.CFS, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,
-	}, body)
+	o.Class = CFS
+	return m.Spawn(o, body)
 }
 
 // SpawnMicroQuanta creates a thread under the MicroQuanta soft-realtime
 // class (§4.3).
+//
+// Deprecated: use Spawn with ThreadOpts.Class = MicroQuanta.
 func (m *Machine) SpawnMicroQuanta(o ThreadOpts, body ThreadFunc) *Thread {
-	if m.MicroQuanta == nil {
-		panic("ghost: machine built without MicroQuanta")
-	}
-	return m.k.Spawn(kernel.SpawnOpts{
-		Name: o.Name, Class: m.MicroQuanta, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,
-	}, body)
+	o.Class = MicroQuanta
+	return m.Spawn(o, body)
 }
 
 // SpawnGhostThread creates a thread managed by the enclave's policy. The
 // agent learns of it via THREAD_CREATED.
+//
+// Deprecated: use Machine.Spawn with ThreadOpts.Class = Ghost(enc).
 func SpawnGhostThread(enc *Enclave, o ThreadOpts, body ThreadFunc) *Thread {
 	return enc.SpawnThread(kernel.SpawnOpts{
 		Name: o.Name, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,

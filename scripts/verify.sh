@@ -1,0 +1,26 @@
+#!/bin/sh
+# Full verification: tier-1 (build + test) plus vet, formatting, and the
+# race detector. Run from the repo root.
+set -e
+
+echo "== go build ./..."
+go build ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l . | grep -v '^internal/trace/testdata/' || true)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race -short ./..."
+go test -race -short ./...
+
+echo "verify: all checks passed"
