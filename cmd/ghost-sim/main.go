@@ -33,6 +33,9 @@ func main() {
 		traceLog = flag.Bool("tracelog", false, "dump the kernel's text scheduling trace to stdout")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)")
 		metrics  = flag.Bool("metrics", false, "print aggregate scheduling metrics after the run")
+		faultsIn = flag.String("faults", "", `fault plan, e.g. "upgrade@500ms" or "crash@300ms" or `+
+			`"msgdrop@100ms/50ms/0.2,ipidelay@200ms/10ms/30us" (kinds: crash, stall, slow, `+
+			`msgdrop, msgdelay, msgdup, ipidelay, ipiloss, txnfail, upgrade)`)
 	)
 	flag.Parse()
 
@@ -54,6 +57,14 @@ func main() {
 	if *traceOut != "" {
 		opts = append(opts, ghost.WithTrace(ghost.NewTracer()))
 	}
+	if *faultsIn != "" {
+		plan, err := ghost.ParseFaultPlan(*faultsIn, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err) // ParsePlan errors carry the "faults:" prefix
+			os.Exit(1)
+		}
+		opts = append(opts, ghost.WithFaults(plan))
+	}
 	m := ghost.NewMachine(topo, opts...)
 	defer m.Shutdown()
 	if *traceLog {
@@ -74,21 +85,25 @@ func main() {
 	switch *sched {
 	case "cfs":
 		spawn = func(name string, body ghost.ThreadFunc) *ghost.Thread {
-			return m.SpawnThread(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
+			return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
 		}
 	case "microquanta":
 		spawn = func(name string, body ghost.ThreadFunc) *ghost.Thread {
-			return m.SpawnMicroQuanta(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
+			return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask, Class: ghost.MicroQuanta}, body)
 		}
 	case "ghost-fifo", "ghost-shinjuku":
 		enc := m.NewEnclave(mask)
+		// The upgrade factory lets "-faults upgrade@T" hand the enclave
+		// to a fresh generation of the same policy.
+		var factory func() any
 		if *sched == "ghost-fifo" {
-			m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
+			factory = func() any { return ghost.NewFIFOPolicy() }
 		} else {
-			m.StartGlobalAgent(enc, ghost.NewShinjukuPolicy())
+			factory = func() any { return ghost.NewShinjukuPolicy() }
 		}
+		m.StartAgents(enc, factory(), ghost.Global(), ghost.WithUpgradePolicy(factory))
 		spawn = func(name string, body ghost.ThreadFunc) *ghost.Thread {
-			return ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: name}, body)
+			return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)

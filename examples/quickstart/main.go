@@ -17,7 +17,7 @@ func main() {
 	// Partition CPUs 0-7 into an enclave and hand them to a centralized
 	// FIFO policy running in a userspace global agent.
 	enc := m.NewEnclave(ghost.MaskOf(0, 1, 2, 3, 4, 5, 6, 7))
-	agents := m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
+	agents := m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global())
 
 	// Spawn ghOSt-managed threads: each serves 5 "requests".
 	for i := 0; i < 16; i++ {
@@ -38,7 +38,7 @@ func main() {
 	// Non-disruptive policy upgrade (§3.4): stop generation 1, start
 	// generation 2 on the live enclave. Threads keep running.
 	agents.Stop()
-	gen2 := m.StartGlobalAgent(enc, ghost.NewShinjukuPolicy())
+	gen2 := m.StartAgents(enc, ghost.NewShinjukuPolicy(), ghost.Global())
 	m.Run(2 * ghost.Millisecond)
 	fmt.Printf("after upgrade: generation 2 committed %d transactions (enclave destroyed: %v)\n",
 		gen2.TxnsCommitted, enc.Destroyed())

@@ -24,7 +24,7 @@ func run(useGhost bool) [3]sim.Duration {
 	var s *workload.Search
 	if useGhost {
 		enc := m.NewEnclave(m.AllCPUs())
-		m.StartGlobalAgent(enc, ghost.NewSearchPolicy())
+		m.StartAgents(enc, ghost.NewSearchPolicy(), ghost.Global())
 		s = workload.NewSearch(m.Kernel(), cfg,
 			func(name string, aff ghost.CPUMask, body ghost.ThreadFunc) *ghost.Thread {
 				return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: aff, Class: ghost.Ghost(enc)}, body)

@@ -47,7 +47,7 @@ func run(scheduler string) (sim.Time, uint64) {
 			})
 	default: // ghost-coresched
 		enc := m.NewEnclave(mask)
-		m.StartGlobalAgent(enc, ghost.NewCoreSchedPolicy(workload.VMOf))
+		m.StartAgents(enc, ghost.NewCoreSchedPolicy(workload.VMOf), ghost.Global())
 		set = workload.NewVMSet(m.Kernel(), 4, 8, work, 500*ghost.Microsecond,
 			func(name string, tag any, body ghost.ThreadFunc) *ghost.Thread {
 				return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask, Tag: tag, Class: ghost.Ghost(enc)}, body)

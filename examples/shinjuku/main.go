@@ -22,9 +22,9 @@ func run(preemptive bool, rate float64) *workload.LatencyRecorder {
 	}
 	enc := m.NewEnclave(mask)
 	if preemptive {
-		m.StartGlobalAgent(enc, ghost.NewShinjukuPolicy()) // 30 µs slices
+		m.StartAgents(enc, ghost.NewShinjukuPolicy(), ghost.Global()) // 30 µs slices
 	} else {
-		m.StartGlobalAgent(enc, ghost.NewFIFOPolicy()) // run to completion
+		m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global()) // run to completion
 	}
 
 	rec := &workload.LatencyRecorder{WarmupUntil: 100 * sim.Millisecond}

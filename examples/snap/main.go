@@ -31,7 +31,7 @@ func run(useGhost bool) (*workload.LatencyRecorder, *workload.LatencyRecorder) {
 	if useGhost {
 		enc := m.NewEnclave(mask)
 		pol := ghost.SnapPolicy(func(t *ghost.Thread) bool { return t.Name() != "antagonist" })
-		m.StartGlobalAgent(enc, pol)
+		m.StartAgents(enc, pol, ghost.Global())
 		snap = workload.NewSnap(m.Kernel(), cfg, func(name string, body ghost.ThreadFunc) *ghost.Thread {
 			return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
 		}, spawnServer)

@@ -25,6 +25,7 @@ package ghost
 
 import (
 	"ghost/internal/agentsdk"
+	"ghost/internal/faults"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
@@ -165,3 +166,23 @@ type (
 
 // NewTracer creates a full event tracer for WithTrace.
 var NewTracer = trace.New
+
+// Fault injection (§3.4 robustness evaluation).
+type (
+	// FaultPlan is a seeded, deterministic schedule of injected faults;
+	// install one with WithFaults (machine level) or WithFaultPlan
+	// (agent-start level).
+	FaultPlan = faults.Plan
+	// Fault is one scheduled fault in a plan.
+	Fault = faults.Fault
+)
+
+// Fault-plan constructors.
+var (
+	// NewFaultPlan creates an empty plan with the given seed; populate
+	// it with the chainable builders (Crash, Upgrade, DropMsgs, ...).
+	NewFaultPlan = faults.NewPlan
+	// ParseFaultPlan parses the ghost-sim -faults spec syntax, e.g.
+	// "crash@500ms" or "msgdrop@100ms/50ms/0.2,upgrade@300ms".
+	ParseFaultPlan = faults.ParsePlan
+)

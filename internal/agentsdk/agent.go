@@ -7,8 +7,10 @@
 package agentsdk
 
 import (
+	"fmt"
 	"sort"
 
+	"ghost/internal/faults"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
@@ -150,6 +152,11 @@ type AgentSet struct {
 	globalQueue *ghostcore.Queue
 	threadCPU   map[kernel.TID]hw.CPUID // per-CPU mode thread placement
 
+	// startOpts replays this generation's Start options onto the
+	// successor when a forced-upgrade fault fires.
+	startOpts    []Option
+	repollTicker *sim.Ticker
+
 	stopped bool
 
 	// Stats.
@@ -167,12 +174,200 @@ type runner struct {
 	thread *kernel.Thread
 	agent  *ghostcore.Agent
 	queue  *ghostcore.Queue // per-CPU queue (per-CPU mode only)
+
+	// Injected-fault state: until stallUntil the agent burns CPU making
+	// no decisions; until slowUntil its step costs multiply by
+	// slowFactor.
+	stallUntil sim.Time
+	slowUntil  sim.Time
+	slowFactor float64
 }
 
-// StartCentralized launches a centralized agent set: a global agent on
+// Option configures Start.
+type Option func(*startConfig)
+
+type startConfig struct {
+	mode    int // 0 = infer from policy type, 1 = global, 2 = per-CPU
+	repoll  sim.Duration
+	plan    *faults.Plan
+	upgrade func() any
+}
+
+// Global forces the centralized (single global agent) model; normally
+// inferred from the policy implementing GlobalPolicy.
+func Global() Option { return func(c *startConfig) { c.mode = 1 } }
+
+// PerCPU forces the per-CPU model; normally inferred from the policy
+// implementing PerCPUPolicy.
+func PerCPU() Option { return func(c *startConfig) { c.mode = 2 } }
+
+// WithRepoll makes the agents re-run their scheduling loop every d even
+// without new messages (a periodic virtual timer, like Shinjuku's
+// timeslice poll).
+func WithRepoll(d sim.Duration) Option { return func(c *startConfig) { c.repoll = d } }
+
+// WithFaultPlan installs plan into the kernel's fault injector (if one
+// is not installed yet) before the agents start, so agent-level faults
+// can target this generation.
+func WithFaultPlan(p *faults.Plan) Option { return func(c *startConfig) { c.plan = p } }
+
+// WithUpgradePolicy supplies the successor-policy factory used when a
+// forced-upgrade fault fires: the running generation stops and a new one
+// starts in place with factory's policy. Without it, upgrade faults are
+// skipped (traced as "upgrade-skipped").
+func WithUpgradePolicy(factory func() any) Option {
+	return func(c *startConfig) { c.upgrade = factory }
+}
+
+// Start launches an agent set for enc running policy, inferring the
+// scheduling model from the policy's type: a GlobalPolicy gets the
+// centralized model (§3.3) and a PerCPUPolicy the per-CPU model (§3.2).
+// Policies implementing both must pass Global() or PerCPU().
+func Start(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy any, opts ...Option) *AgentSet {
+	var cfg startConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.plan != nil && k.Faults() == nil {
+		k.SetFaults(faults.NewInjector(k.Engine(), cfg.plan))
+	}
+	gp, isGlobal := policy.(GlobalPolicy)
+	pp, isPerCPU := policy.(PerCPUPolicy)
+	switch {
+	case cfg.mode == 1 && !isGlobal:
+		panic(fmt.Sprintf("agentsdk: Global() requires a GlobalPolicy, got %T", policy))
+	case cfg.mode == 2 && !isPerCPU:
+		panic(fmt.Sprintf("agentsdk: PerCPU() requires a PerCPUPolicy, got %T", policy))
+	case cfg.mode == 0 && isGlobal && isPerCPU:
+		panic(fmt.Sprintf("agentsdk: %T implements both models; pass Global() or PerCPU()", policy))
+	case cfg.mode == 0 && !isGlobal && !isPerCPU:
+		panic(fmt.Sprintf("agentsdk: %T implements neither GlobalPolicy nor PerCPUPolicy", policy))
+	}
+	var set *AgentSet
+	if cfg.mode == 1 || (cfg.mode == 0 && isGlobal) {
+		set = startCentralized(k, enc, ac, gp)
+	} else {
+		set = startPerCPU(k, enc, ac, pp)
+	}
+	set.startOpts = opts
+	if cfg.repoll > 0 {
+		set.repollTicker = sim.NewTicker(k.Engine(), cfg.repoll, func(sim.Time) {
+			if set.stopped || enc.Destroyed() {
+				return
+			}
+			if set.globalCPU != hw.NoCPU {
+				set.pokeActive()
+			} else {
+				for _, r := range set.sortedRunners() {
+					set.nudge(r)
+				}
+			}
+		})
+	}
+	if in := k.Faults(); in != nil {
+		set.registerFaultHooks(in, cfg.upgrade)
+	}
+	return set
+}
+
+// registerFaultHooks wires this generation to the fault injector. The
+// registration replaces the previous generation's, so fault delivery
+// follows upgrade handoffs.
+func (set *AgentSet) registerFaultHooks(in *faults.Injector, upgrade func() any) {
+	encID := set.enc.ID()
+	in.RegisterAgentHooks(encID, &faults.AgentHooks{
+		Crash: func(now sim.Time) {
+			if !set.stopped {
+				set.Crash()
+			}
+		},
+		Upgrade: func(now sim.Time) {
+			if set.stopped || set.enc.Destroyed() {
+				return
+			}
+			if upgrade == nil {
+				if tr := set.k.Tracer(); tr != nil {
+					tr.EnclaveEvent(now, encID, "upgrade-skipped", "no upgrade policy")
+				}
+				return
+			}
+			set.Stop()
+			Start(set.k, set.enc, set.ac, upgrade(), set.startOpts...)
+		},
+		Stall: func(now sim.Time, cpu hw.CPUID, d sim.Duration) {
+			set.eachTargetRunner(cpu, func(r *runner) {
+				if now+d > r.stallUntil {
+					r.stallUntil = now + d
+				}
+				// Nudge so a blocked agent wakes into the stall: a hung
+				// agent occupies its CPU instead of sleeping politely.
+				set.nudge(r)
+			})
+		},
+		Slow: func(now sim.Time, cpu hw.CPUID, until sim.Time, factor float64) {
+			set.eachTargetRunner(cpu, func(r *runner) {
+				r.slowUntil = until
+				r.slowFactor = factor
+			})
+		},
+	})
+}
+
+// sortedRunners returns the runners in CPU order (the runners map must
+// never be iterated directly: map order would leak nondeterminism into
+// the event schedule).
+func (set *AgentSet) sortedRunners() []*runner {
+	cpus := make([]int, 0, len(set.runners))
+	for cpu := range set.runners {
+		cpus = append(cpus, int(cpu))
+	}
+	sort.Ints(cpus)
+	out := make([]*runner, len(cpus))
+	for i, cpu := range cpus {
+		out[i] = set.runners[hw.CPUID(cpu)]
+	}
+	return out
+}
+
+// eachTargetRunner applies fn to the runner(s) a stall/slow fault
+// targets: a specific CPU's agent, the active global agent (AnyCPU,
+// centralized), or every agent (AnyCPU, per-CPU).
+func (set *AgentSet) eachTargetRunner(cpu hw.CPUID, fn func(*runner)) {
+	if cpu != faults.AnyCPU {
+		if r, ok := set.runners[cpu]; ok {
+			fn(r)
+		}
+		return
+	}
+	if set.globalCPU != hw.NoCPU {
+		fn(set.runners[set.globalCPU])
+		return
+	}
+	for _, r := range set.sortedRunners() {
+		fn(r)
+	}
+}
+
+// StartCentralized launches a centralized agent set.
+//
+// Deprecated: use Start, which infers the model from the policy type
+// and accepts options (repoll, fault plans, upgrade policies).
+func StartCentralized(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy GlobalPolicy) *AgentSet {
+	return Start(k, enc, ac, policy, Global())
+}
+
+// StartPerCPU launches a per-CPU agent set.
+//
+// Deprecated: use Start, which infers the model from the policy type
+// and accepts options (repoll, fault plans, upgrade policies).
+func StartPerCPU(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy PerCPUPolicy) *AgentSet {
+	return Start(k, enc, ac, policy, PerCPU())
+}
+
+// startCentralized launches the centralized model: a global agent on
 // the first enclave CPU polling a single global queue, plus inactive
 // agents on every other CPU for hot handoff (§3.3).
-func StartCentralized(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy GlobalPolicy) *AgentSet {
+func startCentralized(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy GlobalPolicy) *AgentSet {
 	set := newSet(k, enc, ac)
 	set.global = policy
 	// The default queue is the single global queue (Fig 2 right): every
@@ -201,13 +396,13 @@ func StartCentralized(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.Agent
 	return set
 }
 
-// StartPerCPU launches a per-CPU agent set: one agent and one message
+// startPerCPU launches the per-CPU model: one agent and one message
 // queue per enclave CPU (§3.2, Fig 2 left).
-func StartPerCPU(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy PerCPUPolicy) *AgentSet {
+func startPerCPU(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy PerCPUPolicy) *AgentSet {
 	set := newSet(k, enc, ac)
 	set.percpu = policy
 	set.globalCPU = hw.NoCPU
-	for _, r := range set.runners {
+	for _, r := range set.sortedRunners() {
 		r.queue = enc.CreateQueue("cpu-queue")
 		enc.ConfigQueueWakeup(r.queue, r.agent, true)
 	}
@@ -245,8 +440,11 @@ func newSet(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass) *Ag
 // StartPerCPU on the same enclave.
 func (set *AgentSet) Stop() {
 	set.stopped = true
+	if set.repollTicker != nil {
+		set.repollTicker.Stop()
+	}
 	set.enc.BeginUpgrade()
-	for _, r := range set.runners {
+	for _, r := range set.sortedRunners() {
 		set.enc.DetachAgent(r.agent)
 		set.k.Kill(r.thread)
 	}
@@ -256,7 +454,10 @@ func (set *AgentSet) Stop() {
 // back to the default scheduler, as for a real agent crash (§3.4).
 func (set *AgentSet) Crash() {
 	set.stopped = true
-	for _, r := range set.runners {
+	if set.repollTicker != nil {
+		set.repollTicker.Stop()
+	}
+	for _, r := range set.sortedRunners() {
 		set.k.Kill(r.thread)
 		set.enc.DetachAgent(r.agent)
 	}
@@ -301,21 +502,34 @@ func (set *AgentSet) onPressure(c *kernel.CPU) {
 	set.k.Poke(old.thread)
 }
 
-// Step implements kernel.Stepper: dispatch to the mode-specific loop.
+// Step implements kernel.Stepper: dispatch to the mode-specific loop,
+// applying any injected stall/slow fault first.
 func (r *runner) Step(now sim.Time) (sim.Duration, kernel.Disposition) {
 	set := r.set
 	if set.stopped || set.enc.Destroyed() {
 		return 0, kernel.DispExit
 	}
+	if now < r.stallUntil {
+		// Injected stall (§3.4 robustness: a GC-paused or buggy agent):
+		// burn the CPU making no decisions until the stall ends.
+		return r.stallUntil - now, kernel.DispSpin
+	}
 	set.StepsExecuted++
+	var cost sim.Duration
+	var disp kernel.Disposition
 	if set.globalCPU != hw.NoCPU {
 		if r.cpu != set.globalCPU {
 			// Inactive agent: vacate the CPU immediately (§3.3).
 			return 0, kernel.DispBlock
 		}
-		return r.globalStep(now)
+		cost, disp = r.globalStep(now)
+	} else {
+		cost, disp = r.localStep(now)
 	}
-	return r.localStep(now)
+	if now < r.slowUntil && r.slowFactor > 1 && cost > 0 {
+		cost = sim.Duration(float64(cost) * r.slowFactor)
+	}
+	return cost, disp
 }
 
 // drain consumes a queue, charging per-message cost and recording

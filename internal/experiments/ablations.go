@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"ghost/internal/agentsdk"
 
-	"ghost/internal/ghostcore"
+	"ghost"
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
 	"ghost/internal/policies"
@@ -70,7 +69,7 @@ func runBPFFastpath(o Options) *Report {
 // bpfQueue adapts the CentralFIFO policy runqueue into a BPF program: a
 // shared ring the in-kernel hook pops when a CPU idles.
 type bpfQueue struct {
-	enc *ghostcore.Enclave
+	enc *ghost.Enclave
 }
 
 func (b *bpfQueue) PickNextOnIdle(cpu hw.CPUID) *kernel.Thread {
@@ -84,7 +83,7 @@ func (b *bpfQueue) PickNextOnIdle(cpu hw.CPUID) *kernel.Thread {
 
 func bpfRun(withBPF bool, o Options) (p50, p99 sim.Duration, thr float64, commits uint64) {
 	topo := hw.XeonE5()
-	m := newMachine(machineOpts{topo: topo, ghost: true})
+	m := newMachine(machineOpts{topo: topo})
 	defer m.k.Shutdown()
 	var cpus []hw.CPUID
 	for i := 0; i <= 12; i++ {
@@ -156,27 +155,25 @@ func ticklessRun(tickless bool, work sim.Duration, o Options) (sim.Duration, sim
 	topo := hw.SkylakeDefault()
 	cost := hw.DefaultCostModel()
 	cost.TickOverhead = 2 * sim.Microsecond
-	eng := sim.NewEngine()
-	k := kernel.New(eng, topo, cost)
-	ac := kernel.NewAgentClass(k)
-	cfs := kernel.NewCFS(k)
-	g := ghostcore.NewClass(k, cfs)
-	defer k.Shutdown()
+	m := ghost.NewMachine(topo, ghost.WithCostModel(cost),
+		ghost.WithoutMetrics(), ghost.WithoutMicroQuanta())
+	k := m.Kernel()
+	defer m.Shutdown()
 
 	var cpus []hw.CPUID
 	for i := 0; i < 25; i++ {
 		cpus = append(cpus, hw.CPUID(i), hw.CPUID(i+56))
 	}
-	enc := ghostcore.NewEnclave(g, kernel.MaskOf(cpus...))
+	enc := m.NewEnclave(kernel.MaskOf(cpus...))
 	if tickless {
 		enc.SetTickless(true)
 	}
-	agentsdk.StartCentralized(k, enc, ac, policies.NewCoreSched(workload.VMOf))
+	m.StartAgents(enc, policies.NewCoreSched(workload.VMOf), ghost.Global())
 	set := workload.NewVMSet(k, 4, 8, work, 500*sim.Microsecond,
 		func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread {
 			return enc.SpawnThread(kernel.SpawnOpts{Name: name, Tag: tag}, body)
 		})
-	eng.RunFor(60 * work)
+	m.Run(60 * work)
 	if set.Done == 0 {
 		return 60 * work, 60 * work
 	}

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "table3", "table4",
 		"fig5", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig8",
-		"fig8-ablation", "group-commit", "bpf-fastpath",
+		"fig8-ablation", "fig9", "group-commit", "bpf-fastpath",
 	}
 	for _, id := range want {
 		if ByID(id) == nil {

@@ -39,7 +39,7 @@ func fig8Run(pol *policies.Search, o Options) fig8Outcome {
 	if o.Quick {
 		dur = 2 * sim.Second
 	}
-	m := newMachine(machineOpts{topo: topo, ghost: pol != nil})
+	m := newMachine(machineOpts{topo: topo})
 	defer m.k.Shutdown()
 
 	cfg := workload.DefaultSearchConfig()

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"ghost"
 	"ghost/internal/agentsdk"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
@@ -111,8 +112,12 @@ func ByID(id string) *Experiment {
 	return nil
 }
 
-// machine bundles a simulated host with the standard class stack.
+// machine bundles a public ghost.Machine with direct handles on the
+// class stack, so experiment drivers keep their terse m.eng / m.cfs
+// field access while all construction flows through the public
+// functional-options API.
 type machine struct {
+	m   *ghost.Machine
 	eng *sim.Engine
 	k   *kernel.Kernel
 	cfs *kernel.CFS
@@ -121,36 +126,36 @@ type machine struct {
 	g   *ghostcore.Class
 }
 
-// machineOpts selects which classes to instantiate.
+// machineOpts selects the stack variant. The ghOSt class is always
+// present (its hooks are inert without enclaves); extra forwards
+// additional public options such as ghost.WithFaults.
 type machineOpts struct {
 	topo  *hw.Topology
 	mq    bool
-	ghost bool
+	extra []ghost.MachineOption
 }
 
 func newMachine(o machineOpts) *machine {
-	eng := sim.NewEngine()
-	k := kernel.New(eng, o.topo, hw.DefaultCostModel())
-	m := &machine{eng: eng, k: k}
-	m.ac = kernel.NewAgentClass(k)
-	if o.mq {
-		m.mq = kernel.NewMicroQuanta(k)
+	opts := []ghost.MachineOption{ghost.WithoutMetrics()}
+	if !o.mq {
+		opts = append(opts, ghost.WithoutMicroQuanta())
 	}
-	m.cfs = kernel.NewCFS(k)
-	if o.ghost {
-		m.g = ghostcore.NewClass(k, m.cfs)
+	opts = append(opts, o.extra...)
+	gm := ghost.NewMachine(o.topo, opts...)
+	return &machine{
+		m: gm, eng: gm.Kernel().Engine(), k: gm.Kernel(),
+		cfs: gm.CFS, ac: gm.Agents, mq: gm.MicroQuanta, g: gm.Ghost,
 	}
-	return m
 }
 
 // enclaveOn builds an enclave over the given CPUs.
 func (m *machine) enclaveOn(cpus ...hw.CPUID) *ghostcore.Enclave {
-	return ghostcore.NewEnclave(m.g, kernel.MaskOf(cpus...))
+	return m.m.NewEnclave(kernel.MaskOf(cpus...))
 }
 
 // startCentral starts a centralized agent set.
-func (m *machine) startCentral(enc *ghostcore.Enclave, pol agentsdk.GlobalPolicy) *agentsdk.AgentSet {
-	return agentsdk.StartCentralized(m.k, enc, m.ac, pol)
+func (m *machine) startCentral(enc *ghostcore.Enclave, pol agentsdk.GlobalPolicy, opts ...agentsdk.Option) *agentsdk.AgentSet {
+	return m.m.StartAgents(enc, pol, append(opts, agentsdk.Global())...)
 }
 
 // us formats a duration in microseconds with 2 decimals.

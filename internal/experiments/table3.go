@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"ghost/internal/agentsdk"
+	"ghost"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
@@ -60,10 +60,10 @@ func runTable3(o Options) *Report {
 // returns (median message delivery latency, local schedule latency).
 func measurePerCPUPath(o Options) (sim.Duration, sim.Duration) {
 	topo := hw.NewTopology(hw.Config{Name: "t3", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 2, SMTWidth: 1})
-	m := newMachine(machineOpts{topo: topo, ghost: true})
+	m := newMachine(machineOpts{topo: topo})
 	defer m.k.Shutdown()
 	enc := m.enclaveOn(0, 1)
-	set := agentsdk.StartPerCPU(m.k, enc, m.ac, policies.NewPerCPUFIFO())
+	set := m.m.StartAgents(enc, policies.NewPerCPUFIFO(), ghost.PerCPU())
 	th := enc.SpawnThread(kernel.SpawnOpts{Name: "t"}, func(tc *kernel.TaskContext) {
 		for i := 0; i < 400; i++ {
 			tc.Run(2 * sim.Microsecond)
@@ -88,7 +88,7 @@ func measurePerCPUPath(o Options) (sim.Duration, sim.Duration) {
 // agent.
 func measureGlobalDelivery(o Options) sim.Duration {
 	topo := hw.NewTopology(hw.Config{Name: "t3g", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 4, SMTWidth: 1})
-	m := newMachine(machineOpts{topo: topo, ghost: true})
+	m := newMachine(machineOpts{topo: topo})
 	defer m.k.Shutdown()
 	enc := m.enclaveOn(0, 1, 2, 3)
 	set := m.startCentral(enc, policies.NewCentralFIFO())
@@ -111,7 +111,7 @@ func measureGlobalDelivery(o Options) sim.Duration {
 // context and measures until the last target thread is running.
 func measureRemoteE2E(o Options, n int) sim.Duration {
 	topo := hw.NewTopology(hw.Config{Name: "t3r", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 16, SMTWidth: 1})
-	m := newMachine(machineOpts{topo: topo, ghost: true})
+	m := newMachine(machineOpts{topo: topo})
 	defer m.k.Shutdown()
 	enc := m.enclaveOn(func() []hw.CPUID {
 		var c []hw.CPUID

@@ -72,8 +72,7 @@ func table4Run(scheduler string, work sim.Duration, o Options) (sim.Duration, si
 	}
 	mask := kernel.MaskOf(cpus...)
 
-	useGhost := scheduler == "ghost-coresched"
-	m := newMachine(machineOpts{topo: topo, ghost: useGhost})
+	m := newMachine(machineOpts{topo: topo})
 	defer m.k.Shutdown()
 	ic := workload.NewIsolationChecker(m.k, 100*sim.Microsecond)
 

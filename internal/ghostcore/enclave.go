@@ -2,6 +2,7 @@ package ghostcore
 
 import (
 	"fmt"
+	"sort"
 
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
@@ -65,7 +66,13 @@ type Enclave struct {
 	// upgradePending suppresses the crash fallback while a new agent
 	// generation is waiting to take over (§3.4 dynamic upgrades).
 	upgradePending bool
-	tickless       bool
+	// UpgradeTimeout bounds how long an upgrade may stay pending before
+	// the enclave gives up on the new generation and falls back to CFS
+	// instead of stranding its threads. Zero selects
+	// DefaultUpgradeTimeout; set it before BeginUpgrade to override.
+	UpgradeTimeout  sim.Duration
+	upgradeDeadline *sim.Deadline
+	tickless        bool
 
 	destroyed    bool
 	DestroyedFor string
@@ -188,18 +195,21 @@ func (e *Enclave) SpawnThread(opts kernel.SpawnOpts, body kernel.ThreadFunc) *ke
 	return t
 }
 
-// Threads returns the threads currently managed by the enclave. A new
-// agent generation uses this to rebuild its state after an upgrade.
+// Threads returns the threads currently managed by the enclave, in TID
+// order (map order would leak scheduling nondeterminism into upgrade
+// rebuilds and the destroy fallback). A new agent generation uses this
+// to rebuild its state after an upgrade.
 func (e *Enclave) Threads() []*kernel.Thread {
 	out := make([]*kernel.Thread, 0, len(e.threads))
 	for _, t := range e.threads {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID() < out[j].TID() })
 	return out
 }
 
 // RunnableThreads returns managed threads that are runnable and waiting
-// for a scheduling decision.
+// for a scheduling decision, in TID order.
 func (e *Enclave) RunnableThreads() []*kernel.Thread {
 	var out []*kernel.Thread
 	for _, t := range e.threads {
@@ -207,6 +217,7 @@ func (e *Enclave) RunnableThreads() []*kernel.Thread {
 			out = append(out, t)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID() < out[j].TID() })
 	return out
 }
 
@@ -238,7 +249,15 @@ func (e *Enclave) AttachAgent(cpu hw.CPUID, t *kernel.Thread) *Agent {
 	a := &Agent{enc: e, cpu: cpu, thread: t, attached: true, aseq: 1}
 	a.sw.Seq = 1
 	e.agents[cpu] = a
-	e.upgradePending = false
+	if e.upgradePending {
+		e.upgradePending = false
+		if e.upgradeDeadline != nil {
+			e.upgradeDeadline.Cancel()
+		}
+		if tr := e.k.Tracer(); tr != nil {
+			tr.EnclaveEvent(e.k.Now(), e.id, "upgrade-attach", fmt.Sprintf("cpu%d", cpu))
+		}
+	}
 	return a
 }
 
@@ -258,10 +277,51 @@ func (e *Enclave) DetachAgent(a *Agent) {
 	}
 }
 
+// DefaultUpgradeTimeout is the upgrade-attach timeout used when
+// Enclave.UpgradeTimeout is zero.
+const DefaultUpgradeTimeout = 50 * sim.Millisecond
+
 // BeginUpgrade announces that a new agent generation will attach shortly:
 // the crash fallback is suppressed so threads stay in the enclave across
 // the handover (§3.4 "replacing agents while keeping the enclave").
-func (e *Enclave) BeginUpgrade() { e.upgradePending = true }
+//
+// The suppression is bounded: if no successor attaches within
+// UpgradeTimeout the enclave is destroyed and its threads fall back to
+// CFS, so a failed upgrade degrades like a crash instead of stranding
+// runnable threads forever.
+func (e *Enclave) BeginUpgrade() {
+	if e.destroyed {
+		return
+	}
+	e.upgradePending = true
+	if tr := e.k.Tracer(); tr != nil {
+		tr.EnclaveEvent(e.k.Now(), e.id, "upgrade-begin", "")
+	}
+	timeout := e.UpgradeTimeout
+	if timeout <= 0 {
+		timeout = DefaultUpgradeTimeout
+	}
+	if e.upgradeDeadline == nil {
+		e.upgradeDeadline = sim.NewDeadline(e.k.Engine())
+	}
+	e.upgradeDeadline.Arm(e.k.Now()+timeout, e.upgradeTimedOut)
+}
+
+// upgradeTimedOut fires when a pending upgrade's successor never
+// attached: re-arm the crash fallback and, if the old generation is
+// already gone, destroy the enclave now (CFS fallback).
+func (e *Enclave) upgradeTimedOut() {
+	if e.destroyed || !e.upgradePending {
+		return
+	}
+	e.upgradePending = false
+	if tr := e.k.Tracer(); tr != nil {
+		tr.EnclaveEvent(e.k.Now(), e.id, "upgrade-timeout", "")
+	}
+	if len(e.agents) == 0 {
+		e.DestroyWith("upgrade-attach timeout")
+	}
+}
 
 // AgentsAttached reports how many agents are currently attached; new
 // agent generations epoll on this reaching zero before taking over.
@@ -434,6 +494,11 @@ func (e *Enclave) PreemptCPU(cpu hw.CPUID) {
 // validate checks a transaction without side effects. The second return
 // is the ESTALE cause ("aseq" or "tseq") for tracing, empty otherwise.
 func (e *Enclave) validate(a *Agent, txn *Txn) (TxnStatus, string) {
+	if in := e.k.Faults(); in != nil && in.OnTxnValidate(e.k.Now(), e.id) {
+		// Injected commit failure burst: the syscall reports EINVAL and
+		// the policy's OnTxnFail path must re-enqueue the thread.
+		return TxnInvalid, "fault"
+	}
 	g := e.g
 	t := e.k.Thread(txn.TID)
 	if t == nil {
@@ -539,6 +604,16 @@ func (e *Enclave) apply(a *Agent, txn *Txn, groupSize int) {
 	}
 	cross := a != nil && e.k.Topology().Dist(a.cpu, txn.CPU) == hw.DistRemote
 	delay := e.k.Cost().RemoteCommitTargetCost(groupSize, cross)
+	if in := e.k.Faults(); in != nil {
+		lost, extra := in.OnIPI(e.k.Now(), e.id)
+		if lost {
+			// A lost reschedule IPI is recovered when the next timer tick
+			// on the target CPU notices the pending latch: model it as a
+			// deferral by one full tick period.
+			extra += e.k.Cost().TickPeriod
+		}
+		delay += extra
+	}
 	if tr != nil {
 		// Remote commit-to-run latency: this transaction's share of the
 		// agent-side group commit plus the IPI/target install cost.
@@ -618,6 +693,9 @@ func (e *Enclave) DestroyWith(reason string) {
 	if e.watchdog != nil {
 		e.watchdog.Stop()
 		e.watchdog = nil
+	}
+	if e.upgradeDeadline != nil {
+		e.upgradeDeadline.Cancel()
 	}
 	e.k.Tracef("enclave %d destroyed: %s", e.id, reason)
 	if e.tickless {

@@ -93,15 +93,46 @@ func (q *Queue) Name() string { return q.name }
 // Len returns the number of pending messages.
 func (q *Queue) Len() int { return len(q.msgs) }
 
-// post appends a message, bumps Aseq, and wakes/pokes the consumer.
+// post timestamps a message and runs it through the fault injector (if
+// any) before delivery: a dropped message is a real lost wakeup — the
+// agent never learns about it and only the watchdog can recover — a
+// delayed message becomes visible to the agent later, and a duplicated
+// message is delivered twice (agents must tolerate stale sequences).
 func (q *Queue) post(m Message) {
 	if q.dead {
 		return
 	}
-	m.Posted = q.enc.k.Now()
+	k := q.enc.k
+	m.Posted = k.Now()
+	if in := k.Faults(); in != nil {
+		drop, dup, delay := in.OnMessagePost(m.Posted, q.enc.id)
+		switch {
+		case drop:
+			if gt := q.enc.ghostOf(m.TID); gt != nil {
+				gt.pendingMsgs--
+			}
+			return
+		case delay > 0:
+			k.Engine().After(delay, func() { q.deliver(m) })
+			return
+		case dup:
+			q.deliver(m)
+			if gt := q.enc.ghostOf(m.TID); gt != nil {
+				gt.pendingMsgs++
+			}
+		}
+	}
+	q.deliver(m)
+}
+
+// deliver appends a message, bumps Aseq, and wakes/pokes the consumer.
+func (q *Queue) deliver(m Message) {
+	if q.dead {
+		return
+	}
 	q.msgs = append(q.msgs, m)
 	if tr := q.enc.k.Tracer(); tr != nil {
-		tr.MsgPosted(m.Posted, q.enc.id, q.name, m.Type.String(), uint64(m.TID), len(q.msgs))
+		tr.MsgPosted(q.enc.k.Now(), q.enc.id, q.name, m.Type.String(), uint64(m.TID), len(q.msgs))
 	}
 	if q.seqAgent != nil {
 		q.seqAgent.aseq++

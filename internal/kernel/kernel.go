@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ghost/internal/faults"
 	"ghost/internal/hw"
 	"ghost/internal/sim"
 	"ghost/internal/trace"
@@ -42,6 +43,10 @@ type Kernel struct {
 
 	// tr is the structured tracer; nil disables all instrumentation.
 	tr *trace.Tracer
+
+	// faults is the fault-injection plan replayer; nil when no plan is
+	// installed.
+	faults *faults.Injector
 
 	shutdown bool
 }
@@ -96,6 +101,20 @@ func (k *Kernel) SetTracer(tr *trace.Tracer) {
 // Tracer returns the attached tracer; nil when tracing is off. All
 // trace.Tracer emit methods are nil-safe.
 func (k *Kernel) Tracer() *trace.Tracer { return k.tr }
+
+// SetFaults installs a fault-injection plan replayer (nil removes it).
+// The ghOSt core and agent SDK read it back with Faults, mirroring the
+// tracer, so one injector perturbs the whole stack.
+func (k *Kernel) SetFaults(in *faults.Injector) {
+	k.faults = in
+	if in != nil {
+		in.BindTracer(k.Tracer)
+	}
+}
+
+// Faults returns the installed fault injector; nil when fault injection
+// is off. All faults.Injector interception methods are nil-safe.
+func (k *Kernel) Faults() *faults.Injector { return k.faults }
 
 // traceCPU records c's current-thread transition with the tracer: a new
 // run slice when a thread is installed, a slice close when it idles.

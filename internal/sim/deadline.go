@@ -1,0 +1,33 @@
+package sim
+
+// Deadline is a re-armable one-shot timer: Arm schedules a function at
+// an absolute time, replacing any previously armed firing. It exists for
+// recovery timeouts — the enclave's upgrade-attach fallback, fault
+// windows — that are armed and disarmed as state changes.
+type Deadline struct {
+	eng *Engine
+	ev  *Event
+}
+
+// NewDeadline returns a disarmed deadline bound to eng.
+func NewDeadline(eng *Engine) *Deadline { return &Deadline{eng: eng} }
+
+// Arm schedules fn to run at t, cancelling any pending firing first.
+func (d *Deadline) Arm(t Time, fn func()) {
+	d.Cancel()
+	d.ev = d.eng.At(t, func() {
+		d.ev = nil
+		fn()
+	})
+}
+
+// Cancel disarms the deadline; a no-op when nothing is pending.
+func (d *Deadline) Cancel() {
+	if d.ev != nil {
+		d.ev.Cancel()
+		d.ev = nil
+	}
+}
+
+// Pending reports whether a firing is scheduled.
+func (d *Deadline) Pending() bool { return d.ev != nil }

@@ -81,6 +81,8 @@ func (tk track) names() (process, thread string) {
 		return "agents", fmt.Sprintf("agent@cpu%d", tk.tid)
 	case pidEnclaves:
 		return "enclaves", fmt.Sprintf("enclave%d", tk.tid)
+	case pidFaults:
+		return "faults", "injector"
 	}
 	return fmt.Sprintf("pid%d", tk.pid), fmt.Sprintf("tid%d", tk.tid)
 }

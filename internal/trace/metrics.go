@@ -25,6 +25,10 @@ type Metrics struct {
 	Wakeups     uint64
 	IPIs        uint64
 
+	// Faults counts injected faults by kind string ("crash", "msgdrop",
+	// ...), nil when no fault plan ran.
+	Faults map[string]uint64
+
 	// Enclaves holds the per-enclave breakdown, keyed by enclave id.
 	Enclaves map[int]*EnclaveMetrics
 }
@@ -89,6 +93,12 @@ func (t *Tracer) Metrics() *Metrics {
 		IPIs:           t.m.IPIs,
 		Enclaves:       make(map[int]*EnclaveMetrics, len(t.m.Enclaves)),
 	}
+	if len(t.m.Faults) > 0 {
+		out.Faults = make(map[string]uint64, len(t.m.Faults))
+		for k, v := range t.m.Faults {
+			out.Faults[k] = v
+		}
+	}
 	for id, em := range t.m.Enclaves {
 		c := *em
 		c.MsgDelivery = stats.Histogram{}
@@ -110,6 +120,18 @@ func (m *Metrics) String() string {
 		m.EngineEvents, m.EngineMaxQueue)
 	fmt.Fprintf(&b, "kernel:   %d context switches, %d wakeups, %d IPIs\n",
 		m.CtxSwitches, m.Wakeups, m.IPIs)
+	if len(m.Faults) > 0 {
+		kinds := make([]string, 0, len(m.Faults))
+		for k := range m.Faults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%s=%d", k, m.Faults[k])
+		}
+		fmt.Fprintf(&b, "faults:   %s\n", strings.Join(parts, ", "))
+	}
 	ids := make([]int, 0, len(m.Enclaves))
 	for id := range m.Enclaves {
 		ids = append(ids, id)

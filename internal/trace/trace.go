@@ -27,6 +27,7 @@ const (
 	pidCPUs     = 1 // one track per logical CPU
 	pidAgents   = 2 // one track per agent (keyed by its home CPU)
 	pidEnclaves = 3 // one track per enclave (messages, txn batches)
+	pidFaults   = 4 // one track for the fault injector's schedule
 )
 
 // Tracer records scheduling events and aggregates metrics. Construct
@@ -357,6 +358,31 @@ func (t *Tracer) EnclaveEvent(now sim.Time, enc int, name, detail string) {
 		a["detail"] = detail
 	}
 	t.push(event{ph: "i", pid: pidEnclaves, tid: enc, ts: now, name: name, cat: "enclave",
+		scope: "t", args: a})
+}
+
+// --- faults layer ----------------------------------------------------
+
+// Fault records one fault-injection decision (a window opening, or one
+// injected fault inside a window) keyed by its kind string. Recovery
+// actions the fault provokes — watchdog fires, CFS fallback, upgrade
+// handoffs — appear as EnclaveEvents on the affected enclave's track.
+func (t *Tracer) Fault(now sim.Time, kind string, enc int, detail string) {
+	if t == nil {
+		return
+	}
+	if t.m.Faults == nil {
+		t.m.Faults = make(map[string]uint64)
+	}
+	t.m.Faults[kind]++
+	if !t.events {
+		return
+	}
+	a := args{"enc": int64(enc)}
+	if detail != "" {
+		a["detail"] = detail
+	}
+	t.push(event{ph: "i", pid: pidFaults, tid: 1, ts: now, name: kind, cat: "fault",
 		scope: "t", args: a})
 }
 

@@ -83,6 +83,109 @@ func TestTraceGolden(t *testing.T) {
 	}
 }
 
+// faultScenario is scenario plus a fault plan exercising every window
+// kind and a forced upgrade, so the golden file pins the fault track's
+// byte-level format alongside the scheduling events.
+func faultScenario(t *testing.T) ([]byte, *ghost.Metrics) {
+	t.Helper()
+	topo := ghost.NewTopology(ghost.TopologyConfig{
+		Name: "tiny", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 4, SMTWidth: 1,
+	})
+	plan := ghost.NewFaultPlan(7)
+	plan.Stall(200*ghost.Microsecond, 100*ghost.Microsecond)
+	plan.DropMsgs(400*ghost.Microsecond, 200*ghost.Microsecond, 0.5)
+	plan.DelayMsgs(700*ghost.Microsecond, 200*ghost.Microsecond, 30*ghost.Microsecond)
+	plan.DelayIPIs(ghost.Time(ghost.Millisecond), 200*ghost.Microsecond, 20*ghost.Microsecond)
+	plan.FailTxns(1300*ghost.Microsecond, 200*ghost.Microsecond, 0.5)
+	plan.Upgrade(1600 * ghost.Microsecond)
+	m := ghost.NewMachine(topo, ghost.WithTrace(ghost.NewTracer()), ghost.WithFaults(plan))
+	defer m.Shutdown()
+
+	enc := m.NewEnclave(ghost.MaskOf(1, 2, 3), ghost.WithWatchdog(50*ghost.Millisecond))
+	m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global(),
+		ghost.WithUpgradePolicy(func() any { return ghost.NewFIFOPolicy() }))
+
+	worker := func(tc *ghost.Task) {
+		for i := 0; i < 40; i++ {
+			tc.Run(5 * ghost.Microsecond)
+			tc.Sleep(20 * ghost.Microsecond)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		m.Spawn(ghost.ThreadOpts{Name: "gw", Class: ghost.Ghost(enc)}, worker)
+	}
+	m.Run(2 * ghost.Millisecond)
+
+	var buf bytes.Buffer
+	if err := m.TraceTo(&buf); err != nil {
+		t.Fatalf("TraceTo: %v", err)
+	}
+	return buf.Bytes(), m.Metrics()
+}
+
+// TestFaultTraceDeterminism: the same seed and plan must produce
+// byte-identical traces — injected faults draw from the plan's own
+// seeded stream, never from wall-clock or map-order state.
+func TestFaultTraceDeterminism(t *testing.T) {
+	a, _ := faultScenario(t)
+	b, _ := faultScenario(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed+plan runs produced different trace bytes")
+	}
+}
+
+func TestFaultTraceGolden(t *testing.T) {
+	got, ms := faultScenario(t)
+	golden := filepath.Join("testdata", "faults_fifo.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/trace -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fault trace differs from golden %s (len got=%d want=%d); rerun with -update if the change is intended",
+			golden, len(got), len(want))
+	}
+	for _, kind := range []string{"stall", "upgrade"} {
+		if ms.Faults[kind] == 0 {
+			t.Errorf("fault kind %q not counted in metrics (have %v)", kind, ms.Faults)
+		}
+	}
+}
+
+// TestFaultTraceStructure: injected faults appear as instant events on
+// their own named track, in the "fault" category.
+func TestFaultTraceStructure(t *testing.T) {
+	raw, _ := faultScenario(t)
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var faultEvents int
+	var faultTrack bool
+	for _, e := range tf.TraceEvents {
+		if e.Cat == "fault" {
+			faultEvents++
+			if e.Pid != 4 {
+				t.Errorf("fault event %q on pid %d, want 4", e.Name, e.Pid)
+			}
+		}
+		if e.Ph == "M" && e.Name == "process_name" && e.Pid == 4 {
+			faultTrack = true
+		}
+	}
+	if faultEvents == 0 {
+		t.Error("no fault events recorded")
+	}
+	if !faultTrack {
+		t.Error("no named faults track (pid 4) in trace metadata")
+	}
+}
+
 type traceFile struct {
 	TraceEvents []struct {
 		Ph   string         `json:"ph"`

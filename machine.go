@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"ghost/internal/agentsdk"
+	"ghost/internal/faults"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
@@ -36,6 +37,7 @@ type machineConfig struct {
 	cost          hw.CostModel
 	noMicroQuanta bool
 	tracer        *trace.Tracer
+	plan          *faults.Plan
 }
 
 // MachineOption customizes NewMachine. Options are applied in order;
@@ -72,6 +74,15 @@ func WithoutMicroQuanta() MachineOption {
 // used by the overhead benchmarks.
 func WithoutMetrics() MachineOption {
 	return machineOptionFunc(func(c *machineConfig) { c.tracer = nil })
+}
+
+// WithFaults installs a deterministic fault-injection plan (§3.4): a
+// seeded schedule of agent crashes, stalls, message drops/delays, IPI
+// loss, transaction failures, and forced upgrades. Every injected fault
+// is counted in Metrics.Faults and, under WithTrace, recorded on the
+// "faults" track.
+func WithFaults(p *FaultPlan) MachineOption {
+	return machineOptionFunc(func(c *machineConfig) { c.plan = p })
 }
 
 // MachineOpts customizes machine construction.
@@ -115,6 +126,9 @@ func NewMachine(topo *hw.Topology, opts ...MachineOption) *Machine {
 	}
 	m.CFS = kernel.NewCFS(k)
 	m.Ghost = ghostcore.NewClass(k, m.CFS)
+	if cfg.plan != nil {
+		k.SetFaults(faults.NewInjector(eng, cfg.plan))
+	}
 	return m
 }
 
@@ -190,16 +204,48 @@ func (m *Machine) NewEnclave(cpus CPUMask, opts ...EnclaveOption) *Enclave {
 	return e
 }
 
+// AgentOption customizes Machine.StartAgents; see Global, PerCPU,
+// WithRepoll, WithFaultPlan, and WithUpgradePolicy.
+type AgentOption = agentsdk.Option
+
+// Agent-start options, re-exported from the agent SDK.
+var (
+	// Global forces the centralized model (one global agent, §3.3).
+	Global = agentsdk.Global
+	// PerCPU forces the per-CPU model (one agent per CPU, §3.2).
+	PerCPU = agentsdk.PerCPU
+	// WithRepoll re-nudges agents every period (defensive polling).
+	WithRepoll = agentsdk.WithRepoll
+	// WithFaultPlan installs a fault plan scoped to this agent set's
+	// kernel (equivalent to the machine-level WithFaults).
+	WithFaultPlan = agentsdk.WithFaultPlan
+	// WithUpgradePolicy supplies the successor-policy factory used when
+	// a forced "upgrade" fault fires (§3.4).
+	WithUpgradePolicy = agentsdk.WithUpgradePolicy
+)
+
+// StartAgents runs a scheduling policy on the enclave. The model is
+// inferred from the policy's interface (GlobalPolicy → centralized,
+// PerCPUPolicy → per-CPU) and may be forced with Global()/PerCPU() for
+// policies implementing both.
+func (m *Machine) StartAgents(enc *Enclave, policy any, opts ...AgentOption) *AgentSet {
+	return agentsdk.Start(m.k, enc, m.Agents, policy, opts...)
+}
+
 // StartGlobalAgent runs a centralized policy on the enclave: one global
 // agent on the enclave's first CPU plus inactive handoff agents (§3.3).
+//
+// Deprecated: use StartAgents(enc, p, ghost.Global()).
 func (m *Machine) StartGlobalAgent(enc *Enclave, p GlobalPolicy) *AgentSet {
-	return agentsdk.StartCentralized(m.k, enc, m.Agents, p)
+	return m.StartAgents(enc, p, Global())
 }
 
 // StartPerCPUAgents runs a per-CPU policy: one agent and message queue
 // per enclave CPU (§3.2).
+//
+// Deprecated: use StartAgents(enc, p, ghost.PerCPU()).
 func (m *Machine) StartPerCPUAgents(enc *Enclave, p PerCPUPolicy) *AgentSet {
-	return agentsdk.StartPerCPU(m.k, enc, m.Agents, p)
+	return m.StartAgents(enc, p, PerCPU())
 }
 
 // ThreadClass selects the scheduling class a thread is spawned under.

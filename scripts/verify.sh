@@ -23,4 +23,7 @@ go test ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 
+echo "== fig9 smoke (upgrade/crash robustness)"
+go run ./cmd/ghost-bench -exp fig9 -quick
+
 echo "verify: all checks passed"
