@@ -19,6 +19,8 @@ import (
 	"ghost/internal/experiments"
 )
 
+// Parallel is left 0 so each experiment spreads its independent sweep
+// points over GOMAXPROCS workers; reports stay byte-identical to serial.
 var benchOpts = experiments.Options{Quick: true, Seed: 1}
 
 // runExp runs experiment id once per bench iteration and stores a few
@@ -114,6 +116,22 @@ func BenchmarkTable4SecureVM(b *testing.B) {
 func BenchmarkGroupCommitSweep(b *testing.B) {
 	runExp(b, "group-commit", nil)
 }
+
+// benchFullSweep runs a representative slice of the evaluation (the
+// multi-point sweeps) at the given parallelism. Comparing the Serial and
+// Parallel variants measures the wall-time win of the experiment runner.
+func benchFullSweep(b *testing.B, parallel int) {
+	b.Helper()
+	opts := experiments.Options{Quick: true, Seed: 1, Parallel: parallel}
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"fig5", "table3", "group-commit"} {
+			experiments.ByID(id).Run(opts)
+		}
+	}
+}
+
+func BenchmarkFullSweepSerial(b *testing.B)   { benchFullSweep(b, 1) }
+func BenchmarkFullSweepParallel(b *testing.B) { benchFullSweep(b, 0) }
 
 func BenchmarkBPFFastpath(b *testing.B) {
 	runExp(b, "bpf-fastpath", nil)

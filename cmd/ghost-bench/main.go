@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "shrink durations/sweeps for a fast pass")
-		seed  = flag.Uint64("seed", 1, "experiment random seed")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "shrink durations/sweeps for a fast pass")
+		seed     = flag.Uint64("seed", 1, "experiment random seed")
+		parallel = flag.Int("parallel", 0, "worker pool for independent sweep points (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+		list     = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		rep := e.Run(opts)

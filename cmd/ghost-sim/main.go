@@ -6,18 +6,39 @@
 //
 //	ghost-sim -machine xeon-e5 -sched ghost-shinjuku -rate 200000 -dur 2s
 //	ghost-sim -sched cfs -service 25us -workers 32
+//	ghost-sim -seeds 8 -parallel 4   # seed sensitivity sweep, 4 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ghost"
+	"ghost/internal/experiments"
 	"ghost/internal/sim"
 	"ghost/internal/workload"
 )
+
+// scenario is one fully resolved simulation configuration.
+type scenario struct {
+	machine  string
+	topo     *ghost.Topology
+	sched    string
+	rate     float64
+	service  time.Duration
+	bimodal  bool
+	workers  int
+	cpus     int
+	dur      time.Duration
+	seed     uint64
+	traceLog bool
+	traceOut string
+	metrics  bool
+	faultsIn string
+}
 
 func main() {
 	var (
@@ -30,6 +51,8 @@ func main() {
 		cpus     = flag.Int("cpus", 20, "CPUs for the workers (plus one for the agent)")
 		dur      = flag.Duration("dur", time.Second, "simulated duration")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		seeds    = flag.Int("seeds", 1, "run N consecutive seeds (seed, seed+1, ...) as independent simulations")
+		parallel = flag.Int("parallel", 0, "worker pool for -seeds runs (0 = GOMAXPROCS, 1 = serial); output order is deterministic")
 		traceLog = flag.Bool("tracelog", false, "dump the kernel's text scheduling trace to stdout")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)")
 		metrics  = flag.Bool("metrics", false, "print aggregate scheduling metrics after the run")
@@ -53,36 +76,94 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
 		os.Exit(1)
 	}
-	var opts []ghost.MachineOption
-	if *traceOut != "" {
-		opts = append(opts, ghost.WithTrace(ghost.NewTracer()))
-	}
-	if *faultsIn != "" {
-		plan, err := ghost.ParseFaultPlan(*faultsIn, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%v\n", err) // ParsePlan errors carry the "faults:" prefix
-			os.Exit(1)
-		}
-		opts = append(opts, ghost.WithFaults(plan))
-	}
-	m := ghost.NewMachine(topo, opts...)
-	defer m.Shutdown()
-	if *traceLog {
-		m.Kernel().TraceFn = func(s string) { fmt.Println(s) }
-	}
-
 	if *cpus+1 > topo.NumCPUs() {
 		fmt.Fprintf(os.Stderr, "machine has only %d CPUs\n", topo.NumCPUs())
 		os.Exit(1)
 	}
+	if *seeds > 1 && (*traceLog || *traceOut != "") {
+		fmt.Fprintf(os.Stderr, "-tracelog/-trace need a single run; drop -seeds\n")
+		os.Exit(1)
+	}
+
+	sc := scenario{
+		machine: *machine, topo: topo, sched: *sched, rate: *rate,
+		service: *service, bimodal: *bimodal, workers: *workers, cpus: *cpus,
+		dur: *dur, seed: *seed, traceLog: *traceLog, traceOut: *traceOut,
+		metrics: *metrics, faultsIn: *faultsIn,
+	}
+	if *seeds <= 1 {
+		out, err := sc.run()
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Seed sweep: each seed is an independent deterministic simulation,
+	// executed across the runner's worker pool and printed in seed order.
+	jobs := make([]experiments.Job, *seeds)
+	for i := 0; i < *seeds; i++ {
+		s := sc
+		s.seed = *seed + uint64(i)
+		jobs[i] = experiments.Job{
+			Name: fmt.Sprintf("seed-%d", s.seed),
+			Seed: s.seed,
+			Run: func() any {
+				out, err := s.run()
+				if err != nil {
+					return err
+				}
+				return out
+			},
+		}
+	}
+	results := experiments.RunJobs(experiments.Options{Parallel: *parallel}.Parallelism(), jobs)
+	failed := false
+	for _, r := range results {
+		if err, ok := r.(error); ok {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Print(r.(string))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run executes the scenario and returns its rendered output. Errors from
+// flag-dependent setup (fault plan parsing, trace file I/O) are returned
+// so a sweep reports them per seed.
+func (sc scenario) run() (string, error) {
+	var b strings.Builder
+	var opts []ghost.MachineOption
+	if sc.traceOut != "" {
+		opts = append(opts, ghost.WithTrace(ghost.NewTracer()))
+	}
+	if sc.faultsIn != "" {
+		plan, err := ghost.ParseFaultPlan(sc.faultsIn, sc.seed)
+		if err != nil {
+			return "", err // ParsePlan errors carry the "faults:" prefix
+		}
+		opts = append(opts, ghost.WithFaults(plan))
+	}
+	m := ghost.NewMachine(sc.topo, opts...)
+	defer m.Shutdown()
+	if sc.traceLog {
+		m.Kernel().TraceFn = func(s string) { fmt.Println(s) }
+	}
+
 	var mask ghost.CPUMask
-	for i := 0; i <= *cpus; i++ {
+	for i := 0; i <= sc.cpus; i++ {
 		mask.Set(ghost.CPUID(i))
 	}
 
-	rec := &workload.LatencyRecorder{WarmupUntil: sim.Duration(*dur) / 10}
+	rec := &workload.LatencyRecorder{WarmupUntil: sim.Duration(sc.dur) / 10}
 	var spawn func(name string, body ghost.ThreadFunc) *ghost.Thread
-	switch *sched {
+	switch sc.sched {
 	case "cfs":
 		spawn = func(name string, body ghost.ThreadFunc) *ghost.Thread {
 			return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: mask}, body)
@@ -96,7 +177,7 @@ func main() {
 		// The upgrade factory lets "-faults upgrade@T" hand the enclave
 		// to a fresh generation of the same policy.
 		var factory func() any
-		if *sched == "ghost-fifo" {
+		if sc.sched == "ghost-fifo" {
 			factory = func() any { return ghost.NewFIFOPolicy() }
 		} else {
 			factory = func() any { return ghost.NewShinjukuPolicy() }
@@ -106,32 +187,30 @@ func main() {
 			return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
-		os.Exit(1)
+		return "", fmt.Errorf("unknown scheduler %q", sc.sched)
 	}
 
-	pool := workload.NewWorkerPool(m.Kernel(), *workers, rec, spawn)
-	var dist workload.ServiceDist = workload.Fixed(sim.Duration(*service))
-	if *bimodal {
+	pool := workload.NewWorkerPool(m.Kernel(), sc.workers, rec, spawn)
+	var dist workload.ServiceDist = workload.Fixed(sim.Duration(sc.service))
+	if sc.bimodal {
 		dist = workload.RocksDBService()
 	}
-	workload.NewPoissonSource(m.Kernel().Engine(), sim.NewRand(*seed), *rate, dist, pool.Submit)
+	workload.NewPoissonSource(m.Kernel().Engine(), sim.NewRand(sc.seed), sc.rate, dist, pool.Submit)
 
 	start := time.Now()
-	m.Run(sim.Duration(*dur))
-	fmt.Printf("machine=%s sched=%s rate=%.0f/s service=%v workers=%d cpus=%d simulated=%v (wall %v)\n",
-		*machine, *sched, *rate, *service, *workers, *cpus, *dur, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("completed: %d (%.0f req/s)\n", rec.Completed, rec.Throughput(m.Now()))
-	fmt.Printf("latency:   %s\n", rec.Hist.Percentiles())
+	m.Run(sim.Duration(sc.dur))
+	fmt.Fprintf(&b, "machine=%s sched=%s rate=%.0f/s service=%v workers=%d cpus=%d seed=%d simulated=%v (wall %v)\n",
+		sc.machine, sc.sched, sc.rate, sc.service, sc.workers, sc.cpus, sc.seed, sc.dur, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(&b, "completed: %d (%.0f req/s)\n", rec.Completed, rec.Throughput(m.Now()))
+	fmt.Fprintf(&b, "latency:   %s\n", rec.Hist.Percentiles())
 
-	if *metrics {
-		fmt.Print(m.Metrics())
+	if sc.metrics {
+		fmt.Fprint(&b, m.Metrics())
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if sc.traceOut != "" {
+		f, err := os.Create(sc.traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			return b.String(), fmt.Errorf("trace: %w", err)
 		}
 		if err := m.TraceTo(f); err == nil {
 			err = f.Close()
@@ -139,9 +218,9 @@ func main() {
 			f.Close()
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			return b.String(), fmt.Errorf("trace: %w", err)
 		}
-		fmt.Printf("trace:     %s (load at ui.perfetto.dev)\n", *traceOut)
+		fmt.Fprintf(&b, "trace:     %s (load at ui.perfetto.dev)\n", sc.traceOut)
 	}
+	return b.String(), nil
 }

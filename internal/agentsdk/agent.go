@@ -100,11 +100,14 @@ func (c *Context) GlobalCPU() hw.CPUID { return c.set.globalCPU }
 
 // RepollAfter schedules the agent to run again after d even without new
 // messages; preemptive policies (e.g. Shinjuku's 30 µs timeslice) use
-// this as their virtual timer.
+// this as their virtual timer. The poke callback is bound once per agent
+// set so each repoll schedules allocation-free.
 func (c *Context) RepollAfter(d sim.Duration) {
-	set := c.set
-	c.Kernel.Engine().After(d, func() { set.pokeActive() })
+	c.Kernel.Engine().AfterCall(d, pokeActiveFn, c.set)
 }
+
+// pokeActiveFn dispatches a repoll timer to its agent set.
+func pokeActiveFn(a any) { a.(*AgentSet).pokeActive() }
 
 // Thread resolves a TID to the kernel thread, nil if gone.
 func (c *Context) Thread(tid kernel.TID) *kernel.Thread { return c.Kernel.Thread(tid) }

@@ -33,12 +33,15 @@ func runGroupCommit(o Options) *Report {
 		Header: []string{"group size", "agent cost(ns)", "per txn(ns)", "max Mtxns/s", "measured e2e(ns)"},
 	}
 	cm := hw.DefaultCostModel()
-	for _, n := range []int{1, 2, 5, 10, 20, 50} {
+	sizes := []int{1, 2, 5, 10, 20, 50}
+	e2es := sweep(o, len(sizes), func(i int) sim.Duration {
+		return measureRemoteE2E(o, sizes[i])
+	})
+	for i, n := range sizes {
 		total := cm.RemoteCommitAgentCost(n)
 		per := total / sim.Duration(n)
-		e2e := measureRemoteE2E(o, n)
 		rep.AddRow(itoa(n), ns(total), ns(per),
-			fmt.Sprintf("%.2f", float64(n)/float64(total)*1000), ns(e2e))
+			fmt.Sprintf("%.2f", float64(n)/float64(total)*1000), ns(e2es[i]))
 	}
 	rep.Notef("per-transaction agent cost falls from 668 ns to the ~366 ns marginal " +
 		"cost as the syscall and IPI batch overheads amortize (paper: 1.5M -> 2.52M txns/s)")
@@ -53,13 +56,21 @@ func runBPFFastpath(o Options) *Report {
 		ID: "bpf-fastpath", Title: "BPF idle fastpath",
 		Header: []string{"variant", "p50(us)", "p99(us)", "throughput(kreq/s)", "BPF commits"},
 	}
-	for _, withBPF := range []bool{false, true} {
+	type bpfOut struct {
+		p50, p99 sim.Duration
+		thr      float64
+		commits  uint64
+	}
+	outs := sweep(o, 2, func(i int) bpfOut {
+		p50, p99, thr, commits := bpfRun(i == 1, o)
+		return bpfOut{p50, p99, thr, commits}
+	})
+	for i, out := range outs {
 		name := "agent-only"
-		if withBPF {
+		if i == 1 {
 			name = "agent+bpf"
 		}
-		p50, p99, thr, commits := bpfRun(withBPF, o)
-		rep.AddRow(name, us(p50), us(p99), fmt.Sprintf("%.0f", thr/1000), fmt.Sprintf("%d", commits))
+		rep.AddRow(name, us(out.p50), us(out.p99), fmt.Sprintf("%.0f", out.thr/1000), fmt.Sprintf("%d", out.commits))
 	}
 	rep.Notef("the BPF program commits locally when a CPU idles before the agent's " +
 		"next loop, recovering the scheduling-gap time (§5)")
@@ -130,19 +141,23 @@ func runTickless(o Options) *Report {
 	if o.Quick {
 		work = 10 * sim.Millisecond
 	}
-	var base sim.Duration
-	for _, tickless := range []bool{false, true} {
-		done, mean := ticklessRun(tickless, work, o)
+	type tkOut struct {
+		done, mean sim.Duration
+	}
+	outs := sweep(o, 2, func(i int) tkOut {
+		done, mean := ticklessRun(i == 1, work, o)
+		return tkOut{done, mean}
+	})
+	base := outs[0].mean
+	for i, out := range outs {
 		name := "ticked (2us VM-exit/tick)"
-		if tickless {
+		if i == 1 {
 			name = "tickless"
-		} else {
-			base = mean
 		}
 		rep.AddRow(name,
-			fmt.Sprintf("%.2f", float64(done)/float64(sim.Millisecond)),
-			fmt.Sprintf("%.2f", float64(mean)/float64(sim.Millisecond)))
-		if tickless && mean >= base {
+			fmt.Sprintf("%.2f", float64(out.done)/float64(sim.Millisecond)),
+			fmt.Sprintf("%.2f", float64(out.mean)/float64(sim.Millisecond)))
+		if i == 1 && out.mean >= base {
 			rep.Notef("WARNING: tickless did not improve completion time")
 		}
 	}

@@ -277,3 +277,56 @@ func TestDeterministicReports(t *testing.T) {
 		t.Fatal("fig5 not deterministic across runs")
 	}
 }
+
+func TestRunJobsOrdering(t *testing.T) {
+	jobs := make([]Job, 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: "j", Run: func() any { return i }}
+	}
+	for _, par := range []int{1, 2, 4, 16, 200} {
+		got := RunJobs(par, jobs)
+		if len(got) != len(jobs) {
+			t.Fatalf("parallel=%d: %d results, want %d", par, len(got), len(jobs))
+		}
+		for i, v := range got {
+			if v.(int) != i {
+				t.Fatalf("parallel=%d: out[%d] = %v, want %d (submission order)", par, i, v, i)
+			}
+		}
+	}
+}
+
+func TestRunJobsEmpty(t *testing.T) {
+	if got := RunJobs(4, nil); len(got) != 0 {
+		t.Fatalf("RunJobs(4, nil) = %v", got)
+	}
+}
+
+func TestOptionsParallelism(t *testing.T) {
+	if got := (Options{Parallel: 3}).Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d, want 3", got)
+	}
+	if got := (Options{}).Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism = %d, want >= 1", got)
+	}
+}
+
+// The tentpole invariant: a report is byte-identical whatever the worker
+// pool size, because results are collected in submission order and each
+// simulation is deterministic for its seed.
+func TestParallelReportsIdentical(t *testing.T) {
+	for _, id := range []string{"fig5", "table3", "group-commit"} {
+		e := ByID(id)
+		if e == nil {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		serial := e.Run(Options{Quick: true, Seed: 1, Parallel: 1}).String()
+		for _, par := range []int{4, 0} { // 0 = GOMAXPROCS
+			if got := e.Run(Options{Quick: true, Seed: 1, Parallel: par}).String(); got != serial {
+				t.Errorf("%s: report at parallel=%d differs from serial:\n--- serial ---\n%s\n--- parallel=%d ---\n%s",
+					id, par, serial, par, got)
+			}
+		}
+	}
+}

@@ -39,20 +39,36 @@ func runFig5(o Options) *Report {
 		{"skylake", hw.SkylakeDefault},
 		{"haswell", hw.Haswell},
 	}
+	// Flatten the (machine, CPU count) sweep into independent jobs, then
+	// render in submission order so the report matches serial output.
+	type point struct {
+		machine string
+		topo    func() *hw.Topology
+		order   []hw.CPUID
+		n       int
+	}
+	var pts []point
 	for _, mc := range machines {
-		topo := mc.topo()
-		order := fig5CPUOrder(topo)
-		points := fig5Sweep(len(order), o.Quick)
-		series := &stats.TimeSeries{Name: "fig5-" + mc.name}
-		for _, n := range points {
-			rate := fig5Point(mc.topo(), order[:n], o)
-			series.Add(sim.Time(n), rate)
-			rep.AddRow(mc.name, itoa(n), fmt.Sprintf("%.3f", rate/1e6))
+		order := fig5CPUOrder(mc.topo())
+		for _, n := range fig5Sweep(len(order), o.Quick) {
+			pts = append(pts, point{mc.name, mc.topo, order, n})
 		}
-		rep.Series = append(rep.Series, series)
 		if o.Quick && mc.name == "haswell" {
 			break
 		}
+	}
+	rates := sweep(o, len(pts), func(i int) float64 {
+		p := pts[i]
+		return fig5Point(p.topo(), p.order[:p.n], o)
+	})
+	var series *stats.TimeSeries
+	for i, p := range pts {
+		if series == nil || series.Name != "fig5-"+p.machine {
+			series = &stats.TimeSeries{Name: "fig5-" + p.machine}
+			rep.Series = append(rep.Series, series)
+		}
+		series.Add(sim.Time(p.n), rates[i])
+		rep.AddRow(p.machine, itoa(p.n), fmt.Sprintf("%.3f", rates[i]/1e6))
 	}
 	rep.Notef("expected shape: ramp while CPUs are added, dip when the agent's SMT " +
 		"sibling gets workers, degradation on the remote socket (paper Fig 5)")

@@ -153,19 +153,42 @@ func runFig6(o Options, withBatch bool) *Report {
 		ID: id, Title: "RocksDB 99% latency vs throughput",
 		Header: []string{"system", "offered(kreq/s)", "achieved(kreq/s)", "p99(us)"},
 	}
-	for _, sys := range []fig6System{sysShinjuku, sysGhost, sysCFS} {
-		series := &stats.TimeSeries{Name: id + "-" + sys.String()}
-		for _, rate := range fig6Loads(o.Quick) {
-			r := fig6Run(sys, rate, withBatch, o)
-			series.Add(sim.Time(rate), float64(r.p99)/float64(sim.Microsecond))
-			rep.AddRow(sys.String(), fmt.Sprintf("%.0f", rate/1000),
-				fmt.Sprintf("%.0f", r.throughput/1000), us(r.p99))
+	cases, results := fig6Sweep(o, withBatch)
+	var series *stats.TimeSeries
+	for i, c := range cases {
+		if series == nil || series.Name != id+"-"+c.sys.String() {
+			series = &stats.TimeSeries{Name: id + "-" + c.sys.String()}
+			rep.Series = append(rep.Series, series)
 		}
-		rep.Series = append(rep.Series, series)
+		r := results[i]
+		series.Add(sim.Time(c.rate), float64(r.p99)/float64(sim.Microsecond))
+		rep.AddRow(c.sys.String(), fmt.Sprintf("%.0f", c.rate/1000),
+			fmt.Sprintf("%.0f", r.throughput/1000), us(r.p99))
 	}
 	rep.Notef("expected shape: ghOSt-Shinjuku within ~5%% of Shinjuku's saturation " +
 		"and p99; CFS-Shinjuku saturates ~30%% sooner (no preemption)")
 	return rep
+}
+
+// fig6Case is one (system, offered load) cell of the Fig 6 sweep.
+type fig6Case struct {
+	sys  fig6System
+	rate float64
+}
+
+// fig6Sweep runs the full system × load grid as independent jobs and
+// returns cases and results in row order.
+func fig6Sweep(o Options, withBatch bool) ([]fig6Case, []fig6Result) {
+	var cases []fig6Case
+	for _, sys := range []fig6System{sysShinjuku, sysGhost, sysCFS} {
+		for _, rate := range fig6Loads(o.Quick) {
+			cases = append(cases, fig6Case{sys, rate})
+		}
+	}
+	results := sweep(o, len(cases), func(i int) fig6Result {
+		return fig6Run(cases[i].sys, cases[i].rate, withBatch, o)
+	})
+	return cases, results
 }
 
 func runFig6c(o Options) *Report {
@@ -173,14 +196,15 @@ func runFig6c(o Options) *Report {
 		ID: "fig6c", Title: "Batch CPU share vs RocksDB load",
 		Header: []string{"system", "offered(kreq/s)", "batch share"},
 	}
-	for _, sys := range []fig6System{sysShinjuku, sysGhost, sysCFS} {
-		series := &stats.TimeSeries{Name: "fig6c-" + sys.String()}
-		for _, rate := range fig6Loads(o.Quick) {
-			r := fig6Run(sys, rate, true, o)
-			series.Add(sim.Time(rate), r.batchShare)
-			rep.AddRow(sys.String(), fmt.Sprintf("%.0f", rate/1000), fmt.Sprintf("%.2f", r.batchShare))
+	cases, results := fig6Sweep(o, true)
+	var series *stats.TimeSeries
+	for i, c := range cases {
+		if series == nil || series.Name != "fig6c-"+c.sys.String() {
+			series = &stats.TimeSeries{Name: "fig6c-" + c.sys.String()}
+			rep.Series = append(rep.Series, series)
 		}
-		rep.Series = append(rep.Series, series)
+		series.Add(sim.Time(c.rate), results[i].batchShare)
+		rep.AddRow(c.sys.String(), fmt.Sprintf("%.0f", c.rate/1000), fmt.Sprintf("%.2f", results[i].batchShare))
 	}
 	rep.Notef("expected shape: Shinjuku's dedicated cores give the batch app zero " +
 		"share at any load; ghOSt shares idle cycles, tapering as load grows")

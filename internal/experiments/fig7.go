@@ -33,8 +33,15 @@ func runFig7(o Options, loaded bool) *Report {
 		ID: id, Title: "Snap round-trip latency (" + mode + " mode)",
 		Header: []string{"scheduler", "size", "p50(us)", "p90(us)", "p99(us)", "p99.9(us)", "p99.99(us)"},
 	}
-	for _, scheduler := range []string{"microquanta", "ghost"} {
-		b, kb := fig7Run(scheduler, loaded, o)
+	schedulers := []string{"microquanta", "ghost"}
+	type fig7Out struct {
+		b, kb *workload.LatencyRecorder
+	}
+	outs := sweep(o, len(schedulers), func(i int) fig7Out {
+		b, kb := fig7Run(schedulers[i], loaded, o)
+		return fig7Out{b, kb}
+	})
+	for i, scheduler := range schedulers {
 		row := func(name string, h interface {
 			Quantile(float64) sim.Duration
 		}) {
@@ -42,8 +49,8 @@ func runFig7(o Options, loaded bool) *Report {
 				us(h.Quantile(0.50)), us(h.Quantile(0.90)), us(h.Quantile(0.99)),
 				us(h.Quantile(0.999)), us(h.Quantile(0.9999)))
 		}
-		row("64B", &b.Hist)
-		row("64kB", &kb.Hist)
+		row("64B", &outs[i].b.Hist)
+		row("64kB", &outs[i].kb.Hist)
 	}
 	rep.Notef("expected shape (§4.3): similar medians; for 64kB tails ghOSt is 5-30%% " +
 		"better (it relocates workers instead of waiting out MicroQuanta blackouts); " +

@@ -86,8 +86,13 @@ func runFig8(o Options) *Report {
 		ID: "fig8", Title: "Search QPS and 99% latency (normalized to CFS)",
 		Header: []string{"query", "metric", "CFS", "ghOSt", "ghOSt/CFS", "paper"},
 	}
-	cfs := fig8Run(nil, o)
-	gho := fig8Run(policies.NewSearch(), o)
+	outs := sweep(o, 2, func(i int) fig8Outcome {
+		if i == 0 {
+			return fig8Run(nil, o)
+		}
+		return fig8Run(policies.NewSearch(), o)
+	})
+	cfs, gho := outs[0], outs[1]
 	paperQPS := [3]string{"~1.0x", "~1.0x", "~1.0x"}
 	paperP99 := [3]string{"0.55-0.6x", "0.55-0.6x", "~1.0x"}
 	for qt := 0; qt < 3; qt++ {
@@ -146,8 +151,11 @@ func runFig8Ablation(o Options) *Report {
 	}
 	oq := o
 	oq.Quick = true // ablation always runs at quick scale
-	for _, v := range variants {
-		out := fig8Run(v.mk(), oq)
+	outs := sweep(o, len(variants), func(i int) fig8Outcome {
+		return fig8Run(variants[i].mk(), oq)
+	})
+	for i, v := range variants {
+		out := outs[i]
 		rep.AddRow(v.name,
 			fmt.Sprintf("%.0f", float64(out.tot[0].Hist.P99())/1000),
 			fmt.Sprintf("%.0f", float64(out.tot[1].Hist.P99())/1000),

@@ -212,8 +212,12 @@ func runFig9(o Options) *Report {
 		Header: []string{"run", "events", "handoff p50(us)", "handoff p99(us)",
 			"missed SLO", "cfs fallback(ms)", "p99 steady(us)", "p99 disrupt(us)"},
 	}
-	for _, mode := range []fig9Mode{fig9Upgrades, fig9Crash, fig9FailedUpgrade} {
-		r := fig9Run(mode, o)
+	modes := []fig9Mode{fig9Upgrades, fig9Crash, fig9FailedUpgrade}
+	results := sweep(o, len(modes), func(i int) *fig9Result {
+		return fig9Run(modes[i], o)
+	})
+	for i, mode := range modes {
+		r := results[i]
 		handoff50, handoff99 := "-", "-"
 		if r.handoff.Count() > 0 {
 			handoff50, handoff99 = us(r.handoff.P50()), us(r.handoff.P99())

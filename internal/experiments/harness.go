@@ -26,6 +26,11 @@ import (
 type Options struct {
 	Quick bool
 	Seed  uint64
+	// Parallel bounds the worker pool used for independent sweep points
+	// (RunJobs). 0 means GOMAXPROCS; 1 forces serial execution. Results
+	// are collected in submission order, so reports are byte-identical
+	// at any setting.
+	Parallel int
 }
 
 // Report is the rendered outcome of one experiment.
@@ -58,9 +63,12 @@ func (r *Report) String() string {
 		rows = append(rows, r.Header)
 	}
 	rows = append(rows, r.Rows...)
-	widths := map[int]int{}
+	var widths []int
 	for _, row := range rows {
 		for i, c := range row {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
 			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}

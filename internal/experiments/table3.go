@@ -30,10 +30,28 @@ func runTable3(o Options) *Report {
 	}
 	cm := hw.DefaultCostModel()
 
-	localDelivery, localSched := measurePerCPUPath(o)
-	globalDelivery := measureGlobalDelivery(o)
-	remote1 := measureRemoteE2E(o, 1)
-	remote10 := measureRemoteE2E(o, 10)
+	// The five measurements build independent machines; run them as jobs.
+	// Each returns up to two durations (row 1/3 share one run).
+	res := sweep(o, 5, func(i int) [2]sim.Duration {
+		switch i {
+		case 0:
+			d, s := measurePerCPUPath(o)
+			return [2]sim.Duration{d, s}
+		case 1:
+			return [2]sim.Duration{measureGlobalDelivery(o)}
+		case 2:
+			return [2]sim.Duration{measureRemoteE2E(o, 1)}
+		case 3:
+			return [2]sim.Duration{measureRemoteE2E(o, 10)}
+		default:
+			return [2]sim.Duration{measureCFSSwitch(o)}
+		}
+	})
+	localDelivery, localSched := res[0][0], res[0][1]
+	globalDelivery := res[1][0]
+	remote1 := res[2][0]
+	remote10 := res[3][0]
+	cfsSwitch := res[4][0]
 
 	rep.AddRow("1", "message delivery, local agent", "725", ns(localDelivery), "measured (queue+wakeup+switch)")
 	rep.AddRow("2", "message delivery, global agent", "265", ns(globalDelivery), "measured (queue, spinning agent)")
@@ -46,7 +64,7 @@ func runTable3(o Options) *Report {
 	rep.AddRow("9", "group x10: end-to-end", "5688", ns(remote10), "measured (commit->all running)")
 	rep.AddRow("10", "syscall overhead", "72", ns(cm.Syscall), "cost model")
 	rep.AddRow("11", "pthread minimal context switch", "410", ns(cm.ContextSwitchMinimal), "cost model")
-	rep.AddRow("12", "CFS context switch", "599", ns(measureCFSSwitch(o)), "measured (wake->running)")
+	rep.AddRow("12", "CFS context switch", "599", ns(cfsSwitch), "measured (wake->running)")
 
 	rep.Notef("paper end-to-end rows include agent-side serialization that overlaps " +
 		"with IPI propagation; the simulator charges agent time to the agent thread " +

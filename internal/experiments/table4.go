@@ -38,18 +38,24 @@ func runTable4(o Options) *Report {
 		"kernel-coresched": "464 / 937s",
 		"ghost-coresched":  "468 / 929s",
 	}
-	var cfsMean sim.Duration
-	for _, scheduler := range []string{"cfs", "kernel-coresched", "ghost-coresched"} {
-		elapsed, mean, violations := table4Run(scheduler, work, o)
-		if scheduler == "cfs" {
-			cfsMean = mean
-		}
+	schedulers := []string{"cfs", "kernel-coresched", "ghost-coresched"}
+	type t4Result struct {
+		elapsed, mean sim.Duration
+		violations    uint64
+	}
+	results := sweep(o, len(schedulers), func(i int) t4Result {
+		elapsed, mean, violations := table4Run(schedulers[i], work, o)
+		return t4Result{elapsed, mean, violations}
+	})
+	cfsMean := results[0].mean
+	for i, scheduler := range schedulers {
+		r := results[i]
 		// SPEC-rate-style metric (throughput ∝ 1/mean completion),
 		// scaled so CFS lands at the paper's 489.
-		rate := 489 * float64(cfsMean) / float64(mean)
+		rate := 489 * float64(cfsMean) / float64(r.mean)
 		rep.AddRow(scheduler, fmt.Sprintf("%.0f", rate),
-			fmt.Sprintf("%.1f", float64(elapsed)/float64(sim.Millisecond)),
-			itoa(int(violations)), paper[scheduler])
+			fmt.Sprintf("%.1f", float64(r.elapsed)/float64(sim.Millisecond)),
+			itoa(int(r.violations)), paper[scheduler])
 	}
 	rep.Notef("expected shape: CFS fastest but with cross-VM sibling violations; both " +
 		"core schedulers pay a small (~5%%) throughput cost and have zero violations; " +

@@ -50,6 +50,12 @@ type Class struct {
 	// pendingEnclave routes ThreadAttached during Enclave.AddThread.
 	pendingEnclave *Enclave
 
+	// Txn installs are the hottest remote-schedule path: installFn is
+	// bound once and installPool recycles the per-commit records it
+	// receives, so committing a transaction allocates nothing.
+	installFn   func(any)
+	installPool []*installRec
+
 	// Stats.
 	MsgsPosted  uint64
 	TxnsOK      uint64
@@ -68,6 +74,7 @@ func NewClass(k *kernel.Kernel, fallback kernel.Class) *Class {
 		slots:    make([]*kernel.Thread, k.NumCPUs()),
 		inflight: make([]*kernel.Thread, k.NumCPUs()),
 	}
+	g.installFn = g.installFire
 	k.RegisterClass(g)
 	k.AddTickHook(g.onTick)
 	k.AddIdleHook(g.onIdle)

@@ -549,48 +549,84 @@ func (e *Enclave) commitOne(a *Agent, txn *Txn, groupSize int) {
 	e.apply(a, txn, groupSize)
 }
 
+// installRec carries one committed transaction's install parameters from
+// commit time to IPI arrival. Records are pooled on the Class and
+// dispatched through its pre-bound installFn, so the remote-commit hot
+// path schedules without allocating.
+type installRec struct {
+	e     *Enclave
+	t     *kernel.Thread
+	gt    *ghostThread
+	cpu   hw.CPUID
+	local bool
+	a     *Agent
+}
+
+func (g *Class) getInstallRec() *installRec {
+	if n := len(g.installPool); n > 0 {
+		rec := g.installPool[n-1]
+		g.installPool[n-1] = nil
+		g.installPool = g.installPool[:n-1]
+		return rec
+	}
+	return &installRec{}
+}
+
+// installFire adapts doInstall to the engine's pre-bound callback shape.
+func (g *Class) installFire(a any) { g.doInstall(a.(*installRec)) }
+
+// doInstall performs the target-CPU side of a committed transaction:
+// clear the in-flight marker, re-check the thread is still installable,
+// then latch it into the CPU slot and trigger a scheduling pass.
+func (g *Class) doInstall(rec *installRec) {
+	e, t, gt, a := rec.e, rec.t, rec.gt, rec.a
+	cpu, local := rec.cpu, rec.local
+	*rec = installRec{}
+	g.installPool = append(g.installPool, rec)
+
+	if g.inflight[cpu] == t {
+		g.inflight[cpu] = nil
+	}
+	if DebugInstall != nil {
+		DebugInstall(t, cpu, e.destroyed, gt.latched, int(t.State()))
+	}
+	if e.destroyed || !gt.latched || t.State() != kernel.StateRunnable {
+		return
+	}
+	if curr := e.k.CPU(cpu).Curr(); curr != nil && curr.Class() != kernel.Class(g) &&
+		!(local && a != nil && curr == a.thread) {
+		// The CPU was taken by a higher class while the IPI was in
+		// flight (a local commit's own agent is expected and about
+		// to yield); drop the latch and hand the thread back to the
+		// agent as a preemption rather than parking it forever.
+		gt.latched = false
+		g.Preemptions++
+		g.postThreadMsg(t, MsgThreadPreempted)
+		return
+	}
+	if old := g.slots[cpu]; old != nil && old != t {
+		// Displaced latch: hand the old thread back to the agent.
+		ogt := gstate(old)
+		ogt.latched = false
+		g.Enqueue(old, cpu, kernel.EnqPreempt)
+	}
+	g.slots[cpu] = t
+	e.k.Resched(cpu)
+}
+
 // apply latches a validated transaction and schedules its install.
 func (e *Enclave) apply(a *Agent, txn *Txn, groupSize int) {
 	g := e.g
 	t := e.k.Thread(txn.TID)
 	gt := gstate(t)
-	target := e.k.CPU(txn.CPU)
 	local := a != nil && a.cpu == txn.CPU
 	txn.Status = TxnCommitted
 	g.TxnsOK++
 	gt.latched = true
 	g.inflight[txn.CPU] = t
 
-	install := func() {
-		if g.inflight[txn.CPU] == t {
-			g.inflight[txn.CPU] = nil
-		}
-		if DebugInstall != nil {
-			DebugInstall(t, txn.CPU, e.destroyed, gt.latched, int(t.State()))
-		}
-		if e.destroyed || !gt.latched || t.State() != kernel.StateRunnable {
-			return
-		}
-		if curr := target.Curr(); curr != nil && curr.Class() != kernel.Class(g) &&
-			!(local && a != nil && curr == a.thread) {
-			// The CPU was taken by a higher class while the IPI was in
-			// flight (a local commit's own agent is expected and about
-			// to yield); drop the latch and hand the thread back to the
-			// agent as a preemption rather than parking it forever.
-			gt.latched = false
-			g.Preemptions++
-			g.postThreadMsg(t, MsgThreadPreempted)
-			return
-		}
-		if old := g.slots[txn.CPU]; old != nil && old != t {
-			// Displaced latch: hand the old thread back to the agent.
-			ogt := gstate(old)
-			ogt.latched = false
-			g.Enqueue(old, txn.CPU, kernel.EnqPreempt)
-		}
-		g.slots[txn.CPU] = t
-		e.k.Resched(txn.CPU)
-	}
+	rec := g.getInstallRec()
+	*rec = installRec{e: e, t: t, gt: gt, cpu: txn.CPU, local: local, a: a}
 	tr := e.k.Tracer()
 	if local {
 		if tr != nil {
@@ -599,7 +635,7 @@ func (e *Enclave) apply(a *Agent, txn *Txn, groupSize int) {
 			tr.TxnCommitted(e.k.Now(), e.id, uint64(txn.TID), txn.CPU, groupSize,
 				true, e.k.Cost().LocalSchedule)
 		}
-		install()
+		g.doInstall(rec)
 		return
 	}
 	cross := a != nil && e.k.Topology().Dist(a.cpu, txn.CPU) == hw.DistRemote
@@ -621,7 +657,7 @@ func (e *Enclave) apply(a *Agent, txn *Txn, groupSize int) {
 		tr.TxnCommitted(e.k.Now(), e.id, uint64(txn.TID), txn.CPU, groupSize, false, lat)
 		tr.IPI(e.k.Now(), txn.CPU, delay, groupSize)
 	}
-	e.k.Engine().After(delay, install)
+	e.k.Engine().AfterCall(delay, g.installFn, rec)
 }
 
 // TxnsRecall revokes committed transactions whose target threads have

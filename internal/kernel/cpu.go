@@ -22,7 +22,7 @@ type CPU struct {
 	segStart   sim.Time
 	burning    bool
 	speed      float64 // work-units per wall-ns for the current segment
-	completion *sim.Event
+	completion sim.Event
 
 	// Accounting.
 	accBusy   bool
@@ -108,10 +108,10 @@ func (c *CPU) startSegment() {
 			wall = 1
 		}
 		c.burning = true
-		c.completion = c.k.eng.After(wall, func() { c.k.workDone(c) })
+		c.completion = c.k.eng.AfterCall(wall, c.k.workDoneFn, c)
 	} else {
 		c.burning = false
-		c.completion = nil
+		c.completion = sim.Event{}
 	}
 }
 
@@ -134,10 +134,7 @@ func (c *CPU) stopSegment() {
 		} else {
 			t.pendingWork -= progress
 		}
-		if c.completion != nil {
-			c.completion.Cancel()
-			c.completion = nil
-		}
+		c.completion.Cancel()
 		c.burning = false
 	}
 	c.segStart = now

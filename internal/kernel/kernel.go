@@ -48,6 +48,15 @@ type Kernel struct {
 	// installed.
 	faults *faults.Injector
 
+	// Callbacks bound once in New so the hottest schedule sites
+	// (reschedule passes, run completions, switch dead time, pokes,
+	// sleeps) go through the engine's allocation-free AfterCall path.
+	reschedFn    func(any)
+	workDoneFn   func(any)
+	switchDoneFn func(any)
+	pokeFn       func(any)
+	wakeFn       func(any)
+
 	shutdown bool
 }
 
@@ -63,6 +72,11 @@ func New(eng *sim.Engine, topo *hw.Topology, cost hw.CostModel) *Kernel {
 		threads: make(map[TID]*Thread),
 		nextTID: 1,
 	}
+	k.reschedFn = k.reschedFire
+	k.workDoneFn = k.workDoneFire
+	k.switchDoneFn = k.switchDoneFire
+	k.pokeFn = k.pokeFire
+	k.wakeFn = k.wakeFire
 	n := topo.NumCPUs()
 	k.cpus = make([]*CPU, n)
 	k.tickless = make([]bool, n)
@@ -260,6 +274,10 @@ func (k *Kernel) Threads() []*Thread {
 	return out
 }
 
+// wakeFire adapts Wake to the engine's pre-bound callback shape; it backs
+// sleep timers.
+func (k *Kernel) wakeFire(a any) { k.Wake(a.(*Thread)) }
+
 // Wake transitions a blocked thread to runnable, selecting a CPU via its
 // class and possibly preempting. Waking a thread that is not blocked
 // records a pending wake consumed by its next Block.
@@ -330,10 +348,14 @@ func (k *Kernel) Resched(id hw.CPUID) {
 		return
 	}
 	c.reschedPending = true
-	k.eng.After(0, func() {
-		c.reschedPending = false
-		k.doSchedule(c)
-	})
+	k.eng.AfterCall(0, k.reschedFn, c)
+}
+
+// reschedFire runs the deferred scheduling pass queued by Resched.
+func (k *Kernel) reschedFire(a any) {
+	c := a.(*CPU)
+	c.reschedPending = false
+	k.doSchedule(c)
 }
 
 // doSchedule is the core scheduling pass for one CPU.
@@ -485,16 +507,19 @@ func (k *Kernel) switchTo(c *CPU, next *Thread) {
 }
 
 func (c *CPU) eventAfterSwitch(cost sim.Duration) {
-	k := c.k
-	k.eng.After(cost, func() {
-		c.switching = false
-		resched := c.needResched
-		c.needResched = false
-		k.resumeOnCPU(c)
-		if resched {
-			k.Resched(c.ID)
-		}
-	})
+	c.k.eng.AfterCall(cost, c.k.switchDoneFn, c)
+}
+
+// switchDoneFire ends context-switch dead time on a CPU.
+func (k *Kernel) switchDoneFire(a any) {
+	c := a.(*CPU)
+	c.switching = false
+	resched := c.needResched
+	c.needResched = false
+	k.resumeOnCPU(c)
+	if resched {
+		k.Resched(c.ID)
+	}
 }
 
 // resumeOnCPU starts executing the current thread after a switch.
@@ -535,6 +560,9 @@ func (k *Kernel) finishRun(c *CPU, t *Thread) {
 	k.fetchNext(t)
 }
 
+// workDoneFire adapts workDone to the engine's pre-bound callback shape.
+func (k *Kernel) workDoneFire(a any) { k.workDone(a.(*CPU)) }
+
 // workDone fires when the current thread's run segment completes.
 func (k *Kernel) workDone(c *CPU) {
 	t := c.curr
@@ -571,11 +599,15 @@ func (k *Kernel) Poke(t *Thread) {
 	t.poked = true
 	if t.state == StateRunning && t.curKind == actSpinIdle && t.cpu != nil {
 		// Defer to an event so pokes inside other handlers coalesce.
-		k.eng.After(0, func() {
-			if t.poked && t.state == StateRunning && t.curKind == actSpinIdle {
-				k.stepperStep(t)
-			}
-		})
+		k.eng.AfterCall(0, k.pokeFn, t)
+	}
+}
+
+// pokeFire delivers a deferred Poke to a spin-idling stepper.
+func (k *Kernel) pokeFire(a any) {
+	t := a.(*Thread)
+	if t.poked && t.state == StateRunning && t.curKind == actSpinIdle {
+		k.stepperStep(t)
 	}
 }
 

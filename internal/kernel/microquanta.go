@@ -12,8 +12,8 @@ type mqThread struct {
 	throttled   bool
 	onRq        bool
 	acctMark    sim.Duration
-	refill      *sim.Event
-	throttleEv  *sim.Event
+	refill      sim.Event
+	throttleEv  sim.Event
 }
 
 // MicroQuanta reproduces Google's soft real-time scheduler for Snap
@@ -26,12 +26,18 @@ type MicroQuanta struct {
 	Period sim.Duration
 	Quanta sim.Duration
 	queue  []*Thread // global FIFO of unthrottled runnable threads
+
+	// Bound once so throttle/refill timers schedule allocation-free.
+	throttleFn func(any)
+	refillFn   func(any)
 }
 
 // NewMicroQuanta creates and registers the MicroQuanta class with the
 // paper's parameters (period 1 ms, quanta 0.9 ms).
 func NewMicroQuanta(k *Kernel) *MicroQuanta {
 	m := &MicroQuanta{k: k, Period: sim.Millisecond, Quanta: 900 * sim.Microsecond}
+	m.throttleFn = m.throttleFire
+	m.refillFn = m.refillFire
 	k.RegisterClass(m)
 	return m
 }
@@ -52,10 +58,7 @@ func (m *MicroQuanta) ThreadAttached(t *Thread) {
 
 // ThreadDetached implements Class.
 func (m *MicroQuanta) ThreadDetached(t *Thread, r DequeueReason) {
-	if t.mq.refill != nil {
-		t.mq.refill.Cancel()
-		t.mq.refill = nil
-	}
+	t.mq.refill.Cancel()
 	m.disarmThrottle(t)
 }
 
@@ -66,23 +69,23 @@ func (m *MicroQuanta) armThrottle(t *Thread) {
 	if t.mq.budget <= 0 {
 		return
 	}
-	t.mq.throttleEv = m.k.eng.After(t.mq.budget, func() {
-		t.mq.throttleEv = nil
-		if t.class != mqClass(m) || t.state != StateRunning {
-			return
-		}
-		m.charge(t)
-		if !t.mq.throttled && t.mq.budget > 0 {
-			m.armThrottle(t)
-		}
-	})
+	t.mq.throttleEv = m.k.eng.AfterCall(t.mq.budget, m.throttleFn, t)
+}
+
+// throttleFire is the budget-exhaustion check behind armThrottle.
+func (m *MicroQuanta) throttleFire(a any) {
+	t := a.(*Thread)
+	if t.class != mqClass(m) || t.state != StateRunning {
+		return
+	}
+	m.charge(t)
+	if !t.mq.throttled && t.mq.budget > 0 {
+		m.armThrottle(t)
+	}
 }
 
 func (m *MicroQuanta) disarmThrottle(t *Thread) {
-	if t.mq.throttleEv != nil {
-		t.mq.throttleEv.Cancel()
-		t.mq.throttleEv = nil
-	}
+	t.mq.throttleEv.Cancel()
 }
 
 // mqClass lets the closure compare t.class against the concrete type.
@@ -112,7 +115,7 @@ func (m *MicroQuanta) throttle(t *Thread) {
 		refillAt = now + 1
 	}
 	m.k.Tracef("mq: throttle %v until %v", t, refillAt)
-	t.mq.refill = m.k.eng.At(refillAt, func() { m.refill(t) })
+	t.mq.refill = m.k.eng.AtCall(refillAt, m.refillFn, t)
 	if t.state == StateRunning && t.cpu != nil {
 		m.k.Resched(t.cpu.ID)
 	} else if t.mq.onRq {
@@ -120,8 +123,10 @@ func (m *MicroQuanta) throttle(t *Thread) {
 	}
 }
 
+// refillFire adapts refill to the engine's pre-bound callback shape.
+func (m *MicroQuanta) refillFire(a any) { m.refill(a.(*Thread)) }
+
 func (m *MicroQuanta) refill(t *Thread) {
-	t.mq.refill = nil
 	if t.state == StateDead || t.class != m {
 		return
 	}

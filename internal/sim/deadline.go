@@ -6,28 +6,22 @@ package sim
 // windows — that are armed and disarmed as state changes.
 type Deadline struct {
 	eng *Engine
-	ev  *Event
+	ev  Event
 }
 
 // NewDeadline returns a disarmed deadline bound to eng.
 func NewDeadline(eng *Engine) *Deadline { return &Deadline{eng: eng} }
 
 // Arm schedules fn to run at t, cancelling any pending firing first.
+// The generational Event handle goes stale once the deadline fires, so no
+// explicit cleanup wrapper is needed around fn.
 func (d *Deadline) Arm(t Time, fn func()) {
-	d.Cancel()
-	d.ev = d.eng.At(t, func() {
-		d.ev = nil
-		fn()
-	})
+	d.ev.Cancel()
+	d.ev = d.eng.At(t, fn)
 }
 
 // Cancel disarms the deadline; a no-op when nothing is pending.
-func (d *Deadline) Cancel() {
-	if d.ev != nil {
-		d.ev.Cancel()
-		d.ev = nil
-	}
-}
+func (d *Deadline) Cancel() { d.ev.Cancel() }
 
 // Pending reports whether a firing is scheduled.
-func (d *Deadline) Pending() bool { return d.ev != nil }
+func (d *Deadline) Pending() bool { return d.ev.Pending() }

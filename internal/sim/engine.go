@@ -6,10 +6,14 @@
 // randomness is a seeded generator, a simulation run is bit-reproducible.
 // Time is measured in integer nanoseconds of simulated time; wall-clock
 // effects such as Go garbage collection cannot perturb simulated latencies.
+//
+// The scheduling hot path is allocation-free: fired and cancelled events
+// are recycled through a per-engine free list, and the AtCall/AfterCall
+// variants take a pre-bound callback plus argument so callers avoid the
+// per-event closure a plain func() would force.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -48,54 +52,51 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. Fn runs at time At.
+// event is the pooled storage behind a scheduled callback. Exactly one of
+// fn/afn is set; afn receives arg, which lets pre-bound callbacks avoid a
+// per-event closure allocation.
+type event struct {
+	at  Time
+	seq uint64 // tie-break for FIFO ordering of same-time events
+	gen uint64 // bumped on every recycle; validates Event handles
+	idx int    // heap index, -1 when not queued
+
+	fn  func()
+	afn func(any)
+	arg any
+
+	eng *Engine
+}
+
+// Event is a generational handle to a scheduled callback.
+//
+// Aliasing rule: the engine recycles event storage once an event fires or
+// is cancelled, so a handle goes stale at that moment — the same storage
+// may already describe a different, live event. Handles carry a generation
+// number so stale use is safe: Cancel on a stale handle is a no-op (it
+// will never cancel the recycled successor) and Pending reports false.
+// The zero Event is a valid stale handle.
 type Event struct {
-	At Time
-	Fn func()
-
-	seq       uint64 // tie-break for FIFO ordering of same-time events
-	index     int    // heap index, -1 when not queued
-	cancelled bool
+	e   *event
+	gen uint64
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// Cancel prevents a pending event from firing, removing it from the queue
+// immediately. Cancelling an event that already fired (or was already
+// cancelled) is a no-op, even if its storage now backs a newer event.
+func (h Event) Cancel() {
+	ev := h.e
+	if ev == nil || ev.gen != h.gen || ev.idx < 0 {
+		return
 	}
+	eng := ev.eng
+	eng.heapRemove(ev.idx)
+	eng.recycle(ev)
 }
 
-// Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// Pending reports whether the event is still queued.
+func (h Event) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.idx >= 0
 }
 
 // Engine is the discrete-event scheduler. The zero value is not usable;
@@ -103,14 +104,16 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*event // binary min-heap on (at, seq)
+	free    []*event // recycled event storage
 	stopped bool
 
 	// Executed counts events that have fired, for diagnostics.
 	Executed uint64
 
 	// MaxQueue is the high-water mark of the pending-event queue,
-	// sampled at each dispatch.
+	// sampled at each dispatch. Cancelled events are removed eagerly and
+	// never counted.
 	MaxQueue int
 
 	// OnDispatch, when non-nil, observes every event dispatch with the
@@ -128,67 +131,112 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// panics: it would silently reorder causality.
-func (e *Engine) At(at Time, fn func()) *Event {
+// schedule queues a pooled event and returns its handle.
+func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{eng: e, idx: -1}
+	}
+	ev.at, ev.fn, ev.afn, ev.arg, ev.seq = at, fn, afn, arg, e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heapPush(ev)
+	return Event{e: ev, gen: ev.gen}
+}
+
+// recycle invalidates outstanding handles to ev and returns its storage to
+// the free list. ev must not be in the heap.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn func()) Event {
+	return e.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return e.At(e.now+d, fn)
+	return e.schedule(e.now+d, nil, nil, nil).bindFn(fn)
+}
+
+// bindFn sets the niladic callback on a freshly scheduled event.
+func (h Event) bindFn(fn func()) Event {
+	h.e.fn = fn
+	return h
+}
+
+// AtCall schedules fn(arg) at absolute time at. With a callback bound
+// once and reused across calls (a stored method value), the schedule path
+// allocates nothing — the high-frequency sites (reschedule passes, run
+// completions, timer ticks, transaction installs) use this form.
+func (e *Engine) AtCall(at Time, fn func(any), arg any) Event {
+	return e.schedule(at, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) to run d nanoseconds from now. See AtCall.
+func (e *Engine) AfterCall(d Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.schedule(e.now+d, nil, fn, arg)
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Empty reports whether no events remain (cancelled events may linger in
-// the heap but do not count).
-func (e *Engine) Empty() bool {
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			return false
-		}
+// Empty reports whether no events remain. Cancelled events are removed
+// from the queue eagerly, so this is O(1).
+func (e *Engine) Empty() bool { return len(e.queue) == 0 }
+
+// Queued returns the number of pending (live) events.
+func (e *Engine) Queued() int { return len(e.queue) }
+
+// step fires the next event. Returns false when the queue is exhausted or
+// only events beyond limit remain.
+func (e *Engine) step(limit Time) bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := e.queue[0]
+	if next.at > limit {
+		return false
+	}
+	e.heapPopMin()
+	if next.at < e.now {
+		panic("sim: event heap returned time in the past")
+	}
+	e.now = next.at
+	e.Executed++
+	if n := len(e.queue); n > e.MaxQueue {
+		e.MaxQueue = n
+	}
+	if e.OnDispatch != nil {
+		e.OnDispatch(e.now, len(e.queue))
+	}
+	// Recycle before dispatch: the callback may immediately schedule a
+	// new event into this storage; outstanding handles to the fired
+	// event are invalidated by the generation bump either way.
+	fn, afn, arg := next.fn, next.afn, next.arg
+	e.recycle(next)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
 	}
 	return true
-}
-
-// step fires the next event. Returns false when the queue is exhausted.
-func (e *Engine) step(limit Time) bool {
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.cancelled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.At > limit {
-			return false
-		}
-		heap.Pop(&e.queue)
-		if next.At < e.now {
-			panic("sim: event heap returned time in the past")
-		}
-		e.now = next.At
-		e.Executed++
-		if n := len(e.queue); n > e.MaxQueue {
-			e.MaxQueue = n
-		}
-		if e.OnDispatch != nil {
-			e.OnDispatch(e.now, len(e.queue))
-		}
-		next.Fn()
-		return true
-	}
-	return false
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -211,3 +259,86 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunFor advances the simulation by d nanoseconds.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + d) }
+
+// --- event heap ------------------------------------------------------
+//
+// A hand-rolled binary min-heap on (at, seq). container/heap would box
+// every push through an interface value and indirect every comparison;
+// inlining the sift operations keeps the schedule->dispatch path free of
+// both.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.idx = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.heapUp(ev.idx)
+}
+
+func (e *Engine) heapPopMin() *event {
+	return e.heapRemove(0)
+}
+
+// heapRemove removes and returns the event at heap index i.
+func (e *Engine) heapRemove(i int) *event {
+	q := e.queue
+	n := len(q) - 1
+	ev := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].idx = i
+	}
+	q[n] = nil
+	e.queue = q[:n]
+	if i != n {
+		if !e.heapDown(i) {
+			e.heapUp(i)
+		}
+	}
+	ev.idx = -1
+	return ev
+}
+
+func (e *Engine) heapUp(i int) {
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		q[i].idx = i
+		q[parent].idx = parent
+		i = parent
+	}
+}
+
+// heapDown sifts index i down; reports whether it moved.
+func (e *Engine) heapDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(q[right], q[left]) {
+			least = right
+		}
+		if !eventLess(q[least], q[i]) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		q[i].idx = i
+		q[least].idx = least
+		i = least
+	}
+	return i > start
+}

@@ -249,11 +249,198 @@ func TestRandFork(t *testing.T) {
 	}
 }
 
+// The free list recycles event storage the moment an event fires or is
+// cancelled. These tests pin the aliasing rule: a stale handle must never
+// reach through to the recycled successor occupying the same storage.
+
+func TestEventStaleHandleAfterFire(t *testing.T) {
+	e := NewEngine()
+	var ran []string
+	h1 := e.At(10, func() { ran = append(ran, "first") })
+	e.Run()
+	if h1.Pending() {
+		t.Fatal("fired event still Pending through stale handle")
+	}
+	// The next schedule reuses h1's storage (single-event free list).
+	e.At(20, func() { ran = append(ran, "second") })
+	h1.Cancel() // stale: must NOT cancel the recycled successor
+	if h1.Pending() {
+		t.Fatal("stale handle reports Pending for recycled successor")
+	}
+	e.Run()
+	if len(ran) != 2 || ran[1] != "second" {
+		t.Fatalf("stale Cancel affected recycled event: ran=%v", ran)
+	}
+}
+
+func TestEventStaleHandleAfterCancel(t *testing.T) {
+	e := NewEngine()
+	h := e.At(10, func() { t.Error("cancelled event ran") })
+	h.Cancel()
+	if h.Pending() {
+		t.Fatal("cancelled event still Pending")
+	}
+	ran := false
+	e.At(10, func() { ran = true }) // reuses the cancelled event's storage
+	h.Cancel()                      // double-cancel through a stale handle
+	e.Run()
+	if !ran {
+		t.Fatal("stale double-Cancel removed the recycled event")
+	}
+}
+
+func TestEventZeroHandle(t *testing.T) {
+	var h Event
+	h.Cancel() // must not panic
+	if h.Pending() {
+		t.Fatal("zero Event reports Pending")
+	}
+}
+
+func TestEventReuseRecycling(t *testing.T) {
+	e := NewEngine()
+	// Schedule+fire many one-at-a-time events: the pool should keep
+	// storage bounded at a single event (plus handles going stale).
+	var fired int
+	for i := 0; i < 1000; i++ {
+		e.After(1, func() { fired++ })
+		e.step(MaxTime)
+	}
+	if fired != 1000 {
+		t.Fatalf("fired = %d, want 1000", fired)
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d events after serial reuse, want 1", len(e.free))
+	}
+}
+
+// Cancelled events must leave the queue eagerly: Empty and Queued are O(1)
+// and the queue length reflects live events only.
+func TestEngineCancelEagerRemoval(t *testing.T) {
+	e := NewEngine()
+	const n = 10000
+	handles := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		handles = append(handles, e.At(Time(i+1), func() { t.Error("cancelled event ran") }))
+	}
+	if e.Queued() != n {
+		t.Fatalf("Queued = %d, want %d", e.Queued(), n)
+	}
+	for _, h := range handles {
+		h.Cancel()
+	}
+	if !e.Empty() {
+		t.Fatal("engine not Empty after cancelling every event")
+	}
+	if e.Queued() != 0 {
+		t.Fatalf("Queued = %d after mass cancel, want 0", e.Queued())
+	}
+	e.Run()
+	if e.Executed != 0 {
+		t.Fatalf("Executed = %d, want 0 (all events were cancelled)", e.Executed)
+	}
+	// Interleaved: cancel every other event, fire the rest.
+	var fired int
+	handles = handles[:0]
+	for i := 0; i < n; i++ {
+		handles = append(handles, e.At(Time(i+1), func() { fired++ }))
+	}
+	for i := 0; i < n; i += 2 {
+		handles[i].Cancel()
+	}
+	if e.Queued() != n/2 {
+		t.Fatalf("Queued = %d after half cancel, want %d", e.Queued(), n/2)
+	}
+	e.Run()
+	if fired != n/2 {
+		t.Fatalf("fired = %d, want %d", fired, n/2)
+	}
+	if !e.Empty() {
+		t.Fatal("engine not empty after run")
+	}
+}
+
+func TestEngineAtCallOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	push := func(a any) { got = append(got, a.(int)) }
+	e.AtCall(30, push, 3)
+	e.AtCall(10, push, 1)
+	e.AfterCall(20, push, 2)
+	e.At(10, func() { got = append(got, 11) }) // same time as AtCall(10): FIFO
+	e.Run()
+	want := []int{1, 11, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// The schedule→dispatch path must be allocation-free once the pool is
+// warm; this is the CI-enforced form of BenchmarkEngineSchedule's
+// 0 allocs/op acceptance criterion.
+func TestEngineScheduleAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func(any) {}
+	// Warm the pool.
+	e.AfterCall(1, fn, e)
+	e.step(MaxTime)
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.AfterCall(1, fn, e)
+		e.step(MaxTime)
+	}); avg != 0 {
+		t.Fatalf("AfterCall schedule→dispatch allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		h := e.AfterCall(1, fn, e)
+		h.Cancel()
+	}); avg != 0 {
+		t.Fatalf("schedule→cancel allocates %.1f/op, want 0", avg)
+	}
+}
+
+// warmEngine pre-grows the queue and free list so benchmarks measure
+// the steady state (0 allocs/op) even at -benchtime 1x.
+func warmEngine(e *Engine) {
+	e.After(1, func() {})
+	e.step(MaxTime)
+}
+
 func BenchmarkEngineSchedule(b *testing.B) {
 	e := NewEngine()
+	warmEngine(e)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.After(1, func() {})
 		e.step(MaxTime)
+	}
+}
+
+func BenchmarkEngineScheduleCall(b *testing.B) {
+	e := NewEngine()
+	warmEngine(e)
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AfterCall(1, fn, e)
+		e.step(MaxTime)
+	}
+}
+
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	warmEngine(e)
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.AfterCall(1, fn, e)
+		h.Cancel()
 	}
 }

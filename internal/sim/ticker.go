@@ -6,8 +6,21 @@ type Ticker struct {
 	engine  *Engine
 	period  Duration
 	fn      func(Time)
-	ev      *Event
+	ev      Event
 	stopped bool
+}
+
+// tickerFire dispatches a ticker firing; package-level so re-arming goes
+// through the engine's allocation-free AfterCall path.
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn(t.engine.Now())
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // NewTicker starts a ticker whose first fire is one period from now.
@@ -22,15 +35,7 @@ func NewTicker(e *Engine, period Duration, fn func(Time)) *Ticker {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.engine.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn(t.engine.Now())
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.ev = t.engine.AfterCall(t.period, tickerFire, t)
 }
 
 // Stop halts the ticker; the callback will not fire again.

@@ -35,8 +35,13 @@ func (p *PoissonSource) interarrival() sim.Duration {
 }
 
 func (p *PoissonSource) arm() {
-	p.eng.After(p.interarrival(), p.fire)
+	// AfterCall with a package-level dispatcher: a p.fire method value
+	// here would allocate per arrival.
+	p.eng.AfterCall(p.interarrival(), poissonFire, p)
 }
+
+// poissonFire dispatches an arrival to its source.
+func poissonFire(a any) { a.(*PoissonSource).fire() }
 
 func (p *PoissonSource) fire() {
 	if p.stopped {

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Benchmark harness: runs every Go benchmark once (-benchtime 1x) and
+# writes a JSON summary mapping benchmark name -> {unit: value, ...},
+# plus "_wall_seconds" for the whole run and "_cpus" for context.
+#
+# Usage:
+#   scripts/bench.sh [-quick] [out.json]
+#
+#   -quick  smoke mode for CI: only the engine hot-path and full-sweep
+#           benchmarks, output to /tmp unless an explicit path is given.
+#
+# The default output (BENCH_pr3.json) is the recorded artifact for the
+# runner/engine optimization PR; regenerate it on a quiet machine.
+set -e
+
+PATTERN='.'
+OUT=BENCH_pr3.json
+if [ "$1" = "-quick" ]; then
+	shift
+	PATTERN='BenchmarkEngineSchedule|BenchmarkFullSweep'
+	OUT=/tmp/bench_quick.json
+fi
+[ -n "$1" ] && OUT=$1
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+START=$(date +%s)
+go test -run '^$' -bench "$PATTERN" -benchtime 1x ./... | tee "$RAW"
+END=$(date +%s)
+
+awk -v wall=$((END - START)) -v cpus=$(nproc) '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	body = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		m = sprintf("\"%s\": %s", $(i + 1), $i)
+		body = body (body == "" ? "" : ", ") m
+	}
+	if (out != "") out = out ",\n"
+	out = out sprintf("  \"%s\": {%s}", name, body)
+}
+END {
+	printf("{\n%s%s  \"_wall_seconds\": %d,\n  \"_cpus\": %d\n}\n",
+	       out, (out == "" ? "" : ",\n"), wall, cpus)
+}
+' "$RAW" >"$OUT"
+
+echo "bench: wrote $OUT"

@@ -26,4 +26,7 @@ go test -race -short ./...
 echo "== fig9 smoke (upgrade/crash robustness)"
 go run ./cmd/ghost-bench -exp fig9 -quick
 
+echo "== bench smoke (engine hot path + parallel sweep)"
+sh scripts/bench.sh -quick
+
 echo "verify: all checks passed"
