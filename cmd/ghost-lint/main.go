@@ -1,0 +1,76 @@
+// ghost-lint runs the repo's custom static-analysis suite
+// (internal/analysis) over the given package patterns and exits
+// non-zero on any finding. It mechanically enforces the simulator's
+// determinism and hot-path conventions:
+//
+//	determinism  — no wall-clock or global/unseeded rand in sim code
+//	maporder     — no map-iteration order escaping into schedules/reports
+//	hotpathalloc — no per-call closures at AtCall/AfterCall/Schedule sites
+//	eventhandle  — sim.Event handles held by value, never compared with ==
+//
+// Usage:
+//
+//	ghost-lint [-summary] [-check name[,name...]] [packages]
+//
+// Findings are waived per file with `//ghostlint:allow <check> <reason>`;
+// -summary reports kept and suppressed counts per check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghost/internal/analysis"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print per-check found/suppressed counts")
+	checks := flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+	flag.Parse()
+
+	var analyzers []*analysis.Analyzer
+	if *checks == "" {
+		analyzers = analysis.Analyzers()
+	} else {
+		for _, name := range strings.Split(*checks, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ghost-lint: unknown check %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghost-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	res := analysis.Run(pkgs, analyzers)
+	wd, _ := os.Getwd()
+	for _, d := range res.Diagnostics {
+		fmt.Println(d.String(wd))
+	}
+	if *summary {
+		for _, a := range analyzers {
+			fmt.Printf("ghost-lint: %-12s %d finding(s), %d suppressed\n",
+				a.Name, res.Found[a.Name], res.Suppressed[a.Name])
+		}
+		if n := res.Found["ghostlint"]; n > 0 {
+			fmt.Printf("ghost-lint: %-12s %d malformed directive(s)\n", "ghostlint", n)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,162 @@
+// Package analysis implements ghost-lint, the repo's custom static
+// analysis suite. The simulator's headline guarantees — byte-identical
+// reports at any parallelism and seeded, reproducible fault injection —
+// rest on conventions that the compiler cannot enforce: no wall-clock or
+// global rand in sim code, no map-iteration order leaking into
+// scheduling decisions or report assembly, the alloc-free
+// AtCall/AfterCall(fn, arg) pattern on the engine hot path, and the
+// generational sim.Event handle rules. Each convention is mechanically
+// enforced by one analyzer here; `ghost-lint ./...` runs them all and is
+// wired into scripts/verify.sh and CI.
+//
+// The framework is stdlib-only: packages are enumerated with
+// `go list -json`, parsed with go/parser and type-checked with go/types,
+// so go.mod stays dependency-free.
+//
+// A finding can be waived per file with a comment anywhere in the file:
+//
+//	//ghostlint:allow <check> <reason>
+//
+// The reason is mandatory; a malformed or unknown directive is itself a
+// diagnostic. Suppressions are counted and reported by the summary so
+// waivers stay visible.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the diagnostic with the filename relative to dir when
+// possible (the familiar compiler-style file:line:col form).
+func (d Diagnostic) String(dir string) string {
+	name := d.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, name); err == nil && !filepath.IsAbs(rel) {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass gives an analyzer one package to inspect and a sink for findings.
+type Pass struct {
+	Pkg    *Package
+	fset   *token.FileSet
+	check  string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.check,
+		Pos:     p.fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		MapOrderAnalyzer,
+		HotPathAllocAnalyzer,
+		EventHandleAnalyzer,
+	}
+}
+
+// ByName resolves an analyzer from the suite, nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Result aggregates a run of the suite over a set of packages.
+type Result struct {
+	// Diagnostics holds the kept (unsuppressed) findings, sorted by
+	// position so output is stable whatever the load order.
+	Diagnostics []Diagnostic
+	// Found counts kept findings per check; Suppressed counts findings
+	// waived by //ghostlint:allow directives per check.
+	Found      map[string]int
+	Suppressed map[string]int
+}
+
+// Run executes the analyzers over the packages, applies per-file
+// suppressions, and returns the sorted findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{Found: map[string]int{}, Suppressed: map[string]int{}}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		// suppressions: filename -> check -> reason. Malformed
+		// directives surface as "ghostlint" diagnostics (never
+		// suppressible, or a typoed waiver would silence itself).
+		sup := map[string]map[string]string{}
+		for i, f := range pkg.Files {
+			name := pkg.Filenames[i]
+			sup[name] = fileSuppressions(pkg.Fset, f, known, func(d Diagnostic) {
+				res.Diagnostics = append(res.Diagnostics, d)
+				res.Found[d.Check]++
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Pkg:   pkg,
+				fset:  pkg.Fset,
+				check: a.Name,
+				report: func(d Diagnostic) {
+					if reasons := sup[d.Pos.Filename]; reasons != nil {
+						if _, ok := reasons[d.Check]; ok {
+							res.Suppressed[d.Check]++
+							return
+						}
+					}
+					res.Diagnostics = append(res.Diagnostics, d)
+					res.Found[d.Check]++
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return res
+}

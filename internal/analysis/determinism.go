@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DeterminismAnalyzer bans wall-clock reads and the global math/rand
+// state from simulation code. Every latency in the reproduction is
+// virtual time drawn from the engine clock, and every stochastic choice
+// draws from an explicitly seeded *sim.Rand (internal/sim/rand.go);
+// time.Now or rand.Intn anywhere under the scoped packages would let
+// host wall-clock jitter or unseeded randomness perturb a run that must
+// be bit-reproducible for its seed.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock (time.Now/Since/...) and global or unseeded math/rand in sim code",
+	Run:  runDeterminism,
+}
+
+// determinismScope lists the package subtrees the check polices: the
+// simulator and everything that executes inside it. internal/trace is
+// deliberately out of scope (wall-clock annotation of emitted traces is
+// legitimate), as are cmd/ progress timers.
+var determinismScope = []string{
+	"sim", "kernel", "ghostcore", "agentsdk", "faults",
+	"policies", "baselines", "workload",
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time.
+// time.Duration and the unit constants remain usable.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "wall-clock read",
+	"Since":     "wall-clock read",
+	"Until":     "wall-clock read",
+	"Sleep":     "wall-clock wait",
+	"After":     "wall-clock timer",
+	"AfterFunc": "wall-clock timer",
+	"Tick":      "wall-clock timer",
+	"NewTimer":  "wall-clock timer",
+	"NewTicker": "wall-clock timer",
+}
+
+func inDeterminismScope(importPath string) bool {
+	for _, s := range determinismScope {
+		seg := "/internal/" + s
+		if i := strings.Index(importPath, seg); i >= 0 {
+			rest := importPath[i+len(seg):]
+			if rest == "" || rest[0] == '/' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runDeterminism(p *Pass) {
+	if !inDeterminismScope(p.Pkg.ImportPath) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		// Import-level bans: the whole of math/rand is off limits —
+		// its global state is implicitly seeded and shared, and even
+		// rand.New(rand.NewSource(seed)) duplicates what sim.Rand
+		// already provides deterministically.
+		timeAliases := map[string]bool{}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			switch path {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(imp.Pos(),
+					"import of %s: sim code must draw from an explicitly seeded *sim.Rand (internal/sim/rand.go), not global or unseeded rand", path)
+			case "time":
+				name := "time"
+				if imp.Name != nil {
+					name = imp.Name.Name
+				}
+				timeAliases[name] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, banned := bannedTimeFuncs[sel.Sel.Name]
+			if !banned {
+				return true
+			}
+			if !isTimePackageRef(info, sel, timeAliases) {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s: %s leaks host nondeterminism into the simulation; use the engine's virtual clock (sim.Engine.Now / AfterCall)",
+				sel.Sel.Name, kind)
+			return true
+		})
+	}
+}
+
+// isTimePackageRef reports whether sel selects from package time,
+// preferring type information and falling back to the file's import
+// aliases when the package failed to resolve.
+func isTimePackageRef(info *types.Info, sel *ast.SelectorExpr, timeAliases map[string]bool) bool {
+	if info != nil {
+		if obj := info.Uses[sel.Sel]; obj != nil {
+			return obj.Pkg() != nil && obj.Pkg().Path() == "time"
+		}
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !timeAliases[id.Name] {
+		return false
+	}
+	// With type info present, a resolved sel.X that is not the package
+	// means a shadowing local; without it, trust the alias match.
+	if info != nil {
+		if obj := info.Uses[id]; obj != nil {
+			_, isPkg := obj.(*types.PkgName)
+			return isPkg
+		}
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAllocAnalyzer enforces the alloc-free dispatch rule from
+// DESIGN.md §3d: the high-frequency schedule sites use
+// AtCall/AfterCall(fn func(any), arg any) with a callback bound once
+// (a method value stored in a field at construction) so steady-state
+// scheduling performs zero allocations. Passing a closure literal — or
+// a method value spelled at the call site, which Go materializes as a
+// fresh allocation on every evaluation — silently reintroduces the
+// per-event garbage those call sites exist to avoid.
+var HotPathAllocAnalyzer = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flags closure literals and per-call method values at AtCall/AfterCall/Schedule call sites",
+	Run:  runHotPathAlloc,
+}
+
+// hotPathCallees are the scheduling entry points whose argument lists
+// must stay allocation-free. Matching is by name: the sim.Engine
+// methods are the canonical sites, and any wrapper keeping the names
+// inherits the contract.
+var hotPathCallees = map[string]bool{
+	"AtCall":    true,
+	"AfterCall": true,
+	"Schedule":  true,
+}
+
+func runHotPathAlloc(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !hotPathCallees[calleeName(call)] {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch arg := arg.(type) {
+				case *ast.FuncLit:
+					p.Reportf(arg.Pos(),
+						"closure literal passed to %s allocates on every call: bind a method value once at construction and pass (fn, arg) (DESIGN.md §3d)",
+						calleeName(call))
+				case *ast.SelectorExpr:
+					if info == nil {
+						continue
+					}
+					sel, ok := info.Selections[arg]
+					if ok && sel.Kind() == types.MethodVal {
+						p.Reportf(arg.Pos(),
+							"method value %s.%s is materialized (allocated) per call to %s: store it in a field at construction and pass the field (DESIGN.md §3d)",
+							exprString(arg.X), arg.Sel.Name, calleeName(call))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exprString renders simple receiver expressions for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "(expr)"
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `range` loops over maps whose bodies let the
+// (randomized) iteration order escape: appending to an outer slice with
+// no subsequent sort, posting messages / IPIs / scheduling events,
+// emitting output, sending on a channel, or returning/breaking on the
+// first match. This is the exact bug class behind the Enclave.Threads
+// and agent-set-teardown nondeterminism fixed in earlier PRs: any one
+// of these turns Go's per-iteration map randomization into a different
+// event schedule or report, breaking byte-identical runs.
+//
+// Order-insensitive bodies — per-element mutation, min/max folds,
+// writes keyed back into a map, commutative integer accumulation — are
+// not flagged. The blessed pattern for everything else is: collect the
+// keys, sort them, then iterate the sorted slice (see Enclave.Threads).
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map-range loops whose iteration order escapes (append w/o sort, message/event posting, output, first-match return/break)",
+	Run:  runMapOrder,
+}
+
+// orderSensitiveCalls are method/function names whose invocation order
+// is observable in the simulation or its reports: event scheduling,
+// message and IPI posting, kernel state transitions, transaction
+// commits, and sequenced report/output assembly. The list is curated
+// for this codebase; a safe call that happens to share a name can be
+// waived per file with //ghostlint:allow maporder <reason>.
+var orderSensitiveCalls = map[string]string{
+	// event scheduling (sim.Engine and wrappers)
+	"At": "schedules an event", "After": "schedules an event",
+	"AtCall": "schedules an event", "AfterCall": "schedules an event",
+	"Schedule": "schedules work",
+	// ghostcore / kernel side effects
+	"Post": "posts a message", "Poke": "pokes a CPU", "SendIPI": "sends an IPI",
+	"Kill": "kills a thread", "Wake": "wakes a thread", "SetClass": "moves a thread between classes",
+	"Commit": "commits a transaction", "TxnsCommit": "commits transactions",
+	"TxnsCommitAtomic": "commits transactions", "Destroy": "destroys state",
+	"DestroyWith": "destroys state", "Enqueue": "enqueues work",
+	// sequenced report assembly / output
+	"AddRow": "appends a report row", "Notef": "appends a report note",
+	"Print": "writes output", "Printf": "writes output", "Println": "writes output",
+	"Fprint": "writes output", "Fprintf": "writes output", "Fprintln": "writes output",
+	"WriteString": "writes output", "WriteByte": "writes output", "WriteRune": "writes output",
+}
+
+func runMapOrder(p *Pass) {
+	info := p.Pkg.Info
+	if info == nil {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(p, info, parents, rs)
+			return true
+		})
+	}
+}
+
+func checkMapRange(p *Pass, info *types.Info, parents map[ast.Node]ast.Node, rs *ast.RangeStmt) {
+	loopObjs := map[types.Object]bool{}
+	loopNames := map[string]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			loopNames[id.Name] = true
+			if obj := objectOf(info, id); obj != nil {
+				loopObjs[obj] = true
+			}
+		}
+	}
+
+	walkLoopBody(rs.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || calleeName(call) != "append" || i >= len(n.Lhs) {
+					continue
+				}
+				if _, isIndex := n.Lhs[i].(*ast.IndexExpr); isIndex {
+					continue // m2[k] = append(m2[k], v): keyed, order-free
+				}
+				target := rootIdent(n.Lhs[i])
+				if target == nil {
+					continue
+				}
+				obj := objectOf(info, target)
+				if obj != nil && declaredWithin(obj, rs.Body) {
+					continue // per-iteration slice, dies with the loop
+				}
+				if sortedAfter(info, parents, rs, obj, target.Name) {
+					continue // collect-then-sort: the blessed pattern
+				}
+				p.Reportf(n.Pos(),
+					"append to %q inside range over map with no subsequent sort: element order follows map iteration order; sort %q after the loop or iterate sorted keys",
+					target.Name, target.Name)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObject(info, res, loopObjs, loopNames) {
+					p.Reportf(n.Pos(),
+						"return of a map-iteration variable inside range over map: which element wins depends on map order; iterate sorted keys and pick deterministically")
+					break
+				}
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				p.Reportf(n.Pos(),
+					"break inside range over map: first-match selection depends on map order; iterate sorted keys or fold over all entries")
+			}
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(),
+				"channel send inside range over map: delivery order follows map iteration order; iterate sorted keys")
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if effect, ok := orderSensitiveCalls[name]; ok {
+				p.Reportf(n.Pos(),
+					"call to %s inside range over map %s in map iteration order; iterate sorted keys (the Enclave.Threads pattern)",
+					name, effect)
+			}
+		}
+	})
+}
+
+// walkLoopBody visits the loop body without descending into function
+// literals (their bodies run later, under their caller's ordering) and
+// without crossing into nested breakable statements for break tracking
+// — nested loops and switches consume their own `break`.
+func walkLoopBody(body *ast.BlockStmt, visit func(ast.Node)) {
+	var walk func(n ast.Node, breakable bool)
+	walk = func(n ast.Node, breakable bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return true
+			}
+			switch m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BranchStmt:
+				if breakable {
+					visit(m)
+				}
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				// Still report effects inside (they repeat per map
+				// iteration), but their breaks are theirs.
+				walk(m, false)
+				return false
+			}
+			visit(m)
+			return true
+		})
+	}
+	walk(body, true)
+}
+
+// rootIdent unwraps x in `x = append(x, ...)`; only plain identifiers
+// are considered (field chains like r.Rows are handled by the AddRow
+// call list, and selector-target appends are rare enough to waive).
+func rootIdent(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// declaredWithin reports whether obj's declaration lies inside n.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() != token.NoPos && obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// sortedAfter reports whether, in some block enclosing the range
+// statement, a later statement passes the appended slice to a sort.*
+// or slices.* call — the collect-keys-then-sort idiom.
+func sortedAfter(info *types.Info, parents map[ast.Node]ast.Node, rs *ast.RangeStmt, obj types.Object, name string) bool {
+	nameSet := map[string]bool{name: true}
+	objSet := map[types.Object]bool{}
+	if obj != nil {
+		objSet[obj] = true
+	}
+	var child ast.Node = rs
+	for parent := parents[child]; parent != nil; child, parent = parent, parents[parent] {
+		block, ok := parent.(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		idx := -1
+		for i, stmt := range block.List {
+			if stmt == child {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		for _, stmt := range block.List[idx+1:] {
+			found := false
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+					return true
+				}
+				for _, arg := range call.Args {
+					if usesObject(info, arg, objSet, nameSet) {
+						found = true
+						break
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+//ghostlint:allow determinism fixture: wall-clock annotation of emitted artifacts is legitimate here
+package dfix
+
+import "time"
+
+// WallStamp annotates an artifact with wall-clock time; the file-level
+// waiver above (with its mandatory reason) suppresses the finding.
+func WallStamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,20 @@
+// Package dfix is a ghost-lint fixture: wall-clock and global-rand
+// violations in determinism-scoped (internal/kernel-like) code. The
+// `want` comments are matched by the golden-diagnostics harness.
+package dfix
+
+import (
+	"math/rand" // want determinism "import of math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock instead of virtual time.
+func Elapsed() time.Duration {
+	start := time.Now()          // want determinism "time.Now"
+	time.Sleep(time.Millisecond) // want determinism "time.Sleep"
+	_ = rand.Intn(4)
+	return time.Since(start) // want determinism "time.Since"
+}
+
+// UnitMath uses time only for its unit types, which stays legal.
+func UnitMath(d time.Duration) time.Duration { return 2 * d }

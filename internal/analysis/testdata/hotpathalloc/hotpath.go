@@ -1,0 +1,34 @@
+// Package hfix is a ghost-lint fixture: per-call allocations at
+// hot-path schedule sites (the AtCall/AfterCall bind-once rule).
+package hfix
+
+// engine mimics sim.Engine's alloc-free schedule entry points; the
+// analyzer matches these call sites by name.
+type engine struct{}
+
+func (engine) AtCall(at int64, fn func(any), arg any)   {}
+func (engine) AfterCall(d int64, fn func(any), arg any) {}
+
+type policy struct {
+	eng    engine
+	tickFn func(any)
+}
+
+func newPolicy() *policy {
+	p := &policy{}
+	p.tickFn = p.tick // bound once at construction: the blessed pattern
+	return p
+}
+
+func (p *policy) tick(arg any) {}
+
+// Bad schedules with a closure literal and a per-call method value.
+func (p *policy) Bad() {
+	p.eng.AtCall(0, func(arg any) {}, nil) // want hotpathalloc "closure literal"
+	p.eng.AfterCall(1, p.tick, nil)        // want hotpathalloc "method value"
+}
+
+// Good passes the callback field bound once in newPolicy: not flagged.
+func (p *policy) Good() {
+	p.eng.AtCall(0, p.tickFn, nil)
+}

@@ -1,0 +1,13 @@
+// Package badfix exercises malformed //ghostlint:allow directives: an
+// unknown check name, a missing reason, and a missing check name. Each
+// is itself a (non-suppressible) "ghostlint" diagnostic.
+package badfix
+
+//ghostlint:allow nosuchcheck because reasons
+
+//ghostlint:allow determinism
+
+//ghostlint:allow
+
+// Placeholder keeps the package non-empty.
+const Placeholder = 1

@@ -1,0 +1,12 @@
+//ghostlint:allow maporder fixture: debug dump, output order is cosmetic
+package mfix
+
+import "fmt"
+
+// DumpAll prints in whatever order the runtime picks; the file-level
+// waiver above suppresses the finding.
+func DumpAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,85 @@
+// Package mfix is a ghost-lint fixture: map-iteration order escaping
+// into slices, returns, first-match breaks, and posted work.
+package mfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+type queue struct{}
+
+func (queue) Post(v int) {}
+
+// LeakAppend lets map order decide element order.
+func LeakAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want maporder "no subsequent sort"
+	}
+	return out
+}
+
+// SortedAppend is the blessed collect-then-sort pattern: not flagged.
+func SortedAppend(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// FirstMatch returns whichever entry the runtime yields first.
+func FirstMatch(m map[int]string, want string) (int, bool) {
+	for k, v := range m {
+		if v == want {
+			return k, true // want maporder "return of a map-iteration variable"
+		}
+	}
+	return 0, false
+}
+
+// BreakOut stops on the first truthy entry the runtime happens to yield.
+func BreakOut(m map[int]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+			break // want maporder "break inside range over map"
+		}
+	}
+	return found
+}
+
+// PostAll posts messages in map order.
+func PostAll(q queue, m map[int]int) {
+	for _, v := range m {
+		q.Post(v) // want maporder "call to Post"
+	}
+}
+
+// PrintAll emits output in map order.
+func PrintAll(m map[int]int) {
+	for k := range m {
+		fmt.Println(k) // want maporder "call to Println"
+	}
+}
+
+// MinFold is order-independent (a commutative fold): not flagged.
+func MinFold(m map[int]int) int {
+	best := -1
+	for k := range m {
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// KeyedWrite writes back under the iteration key: not flagged.
+func KeyedWrite(src map[int]int, dst map[int][]int) {
+	for k, v := range src {
+		dst[k] = append(dst[k], v)
+	}
+}

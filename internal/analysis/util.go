@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// buildParents maps every node in f to its syntactic parent, for
+// analyses that need to look outward from a finding (e.g. "is this
+// appended slice sorted after the loop?").
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// objectOf resolves an identifier through Defs then Uses. Returns nil
+// when type information is unavailable.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if info == nil {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// calleeName returns the bare name a call is spelled with: m.Foo(..)
+// and Foo(..) both yield "Foo"; anything else yields "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// usesObject reports whether the expression tree references any of the
+// given objects (falling back to name matching when type info is
+// missing).
+func usesObject(info *types.Info, n ast.Node, objs map[types.Object]bool, names map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := objectOf(info, id); obj != nil {
+			if objs[obj] {
+				found = true
+			}
+		} else if names[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -330,3 +330,25 @@ func TestParallelReportsIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestFig5CrossRunIdentical is the cross-run complement of
+// TestParallelReportsIdentical: the same experiment run twice in the
+// same process with the same seed must produce byte-identical reports,
+// both serially and with a worker pool. A report that is stable across
+// pool sizes but drifts across runs would point at leaked process
+// state (package-level maps, a shared rand, pooled buffers).
+func TestFig5CrossRunIdentical(t *testing.T) {
+	e := ByID("fig5")
+	if e == nil {
+		t.Fatal(`experiment "fig5" not registered`)
+	}
+	for _, par := range []int{1, 8} {
+		opts := Options{Quick: true, Seed: 1, Parallel: par}
+		first := e.Run(opts).String()
+		second := e.Run(opts).String()
+		if first != second {
+			t.Errorf("fig5: back-to-back runs at parallel=%d differ:\n--- first ---\n%s\n--- second ---\n%s",
+				par, first, second)
+		}
+	}
+}

@@ -333,11 +333,17 @@ func (e *Enclave) tickQueue(cpu hw.CPUID) *Queue {
 		return a.queue
 	}
 	// Centralized model: ticks flow to whichever queue the (single)
-	// attached agent consumes, else the default queue.
-	for _, a := range e.agents {
-		if a.queue != nil {
-			return a.queue
+	// attached agent consumes, else the default queue. Fold to the
+	// lowest-CPU agent so multi-agent enclaves pick the same queue on
+	// every run regardless of map iteration order.
+	best := hw.NoCPU
+	for cpu, a := range e.agents {
+		if a.queue != nil && (best == hw.NoCPU || cpu < best) {
+			best = cpu
 		}
+	}
+	if best != hw.NoCPU {
+		return e.agents[best].queue
 	}
 	return e.defaultQueue
 }
@@ -749,8 +755,15 @@ func (e *Enclave) DestroyWith(reason string) {
 		e.g.cpuOwner[c] = nil
 		return true
 	})
-	// Kill agents.
-	for _, a := range e.agents {
+	// Kill agents in CPU order: each Kill schedules kernel work, so
+	// map-order iteration would leak into the event sequence.
+	cpus := make([]int, 0, len(e.agents))
+	for cpu := range e.agents {
+		cpus = append(cpus, int(cpu))
+	}
+	sort.Ints(cpus)
+	for _, cpu := range cpus {
+		a := e.agents[hw.CPUID(cpu)]
 		a.attached = false
 		if a.thread != nil {
 			e.k.Kill(a.thread)
@@ -787,7 +800,10 @@ func (e *Enclave) EnableWatchdog(timeout sim.Duration) {
 		if e.destroyed {
 			return
 		}
-		for _, t := range e.threads {
+		// Sorted iteration (Threads): the destroy reason names the
+		// first starved thread, and that choice must not follow map
+		// order into the trace.
+		for _, t := range e.Threads() {
 			gt := gstate(t)
 			if gt != nil && gt.runnable && !gt.latched && now-gt.runnableSince > e.WatchdogTimeout {
 				if tr := e.k.Tracer(); tr != nil {

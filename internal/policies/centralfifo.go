@@ -153,12 +153,18 @@ func (p *CentralFIFO) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 }
 
 func (p *CentralFIFO) findLowerBandVictim(band int) (hw.CPUID, bool) {
+	// Fold to the lowest eligible CPU: picking the first map hit would
+	// make the victim — and the whole downstream schedule — depend on
+	// map iteration order.
+	best := hw.NoCPU
 	for cpu, ts := range p.running {
 		if p.bandOf(ts.Thread) > band && ts.Thread.State() == kernel.StateRunning {
-			return cpu, true
+			if best == hw.NoCPU || cpu < best {
+				best = cpu
+			}
 		}
 	}
-	return 0, false
+	return best, best != hw.NoCPU
 }
 
 // OnTxnFail implements agentsdk.GlobalPolicy: failed commits re-enter the

@@ -1,6 +1,8 @@
 package policies
 
 import (
+	"sort"
+
 	"ghost/internal/agentsdk"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
@@ -207,11 +209,7 @@ func (p *Shinjuku) runningSorted() []*TState {
 	for cpu := range p.running {
 		cpus = append(cpus, int(cpu))
 	}
-	for i := 1; i < len(cpus); i++ {
-		for j := i; j > 0 && cpus[j] < cpus[j-1]; j-- {
-			cpus[j], cpus[j-1] = cpus[j-1], cpus[j]
-		}
-	}
+	sort.Ints(cpus)
 	out := make([]*TState, 0, len(cpus))
 	for _, cpu := range cpus {
 		out = append(out, p.running[hw.CPUID(cpu)])

@@ -17,6 +17,9 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== ghost-lint ./... (determinism, maporder, hotpathalloc, eventhandle)"
+go run ./cmd/ghost-lint -summary ./...
+
 echo "== go test ./..."
 go test ./...
 
