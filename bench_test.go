@@ -148,7 +148,7 @@ func traceOverheadRun(b *testing.B, opts ...ghost.MachineOption) {
 	m := ghost.NewMachine(topo, opts...)
 	defer m.Shutdown()
 	enc := m.NewEnclave(ghost.MaskOf(1, 2, 3, 4, 5, 6, 7))
-	m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
+	m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global())
 	for i := 0; i < 16; i++ {
 		m.Spawn(ghost.ThreadOpts{Name: "w", Class: ghost.Ghost(enc)}, func(tc *ghost.Task) {
 			for {

@@ -1,0 +1,137 @@
+// Command ghost-check is the property-based invariant checker for the
+// ghOSt protocol: it generates seed-deterministic random scenarios
+// (policies, thread mixes, topologies, fault plans), runs each one with
+// the internal/check oracles attached, and on a violation shrinks the
+// scenario to a minimal repro.
+//
+// Usage:
+//
+//	ghost-check -seeds 500 -parallel 8     # scan seeds 1..500
+//	ghost-check -quick -seeds 25           # CI smoke configuration
+//	ghost-check -repro "seed=7 policy=shinjuku cpus=4 threads=6 horizon=20.000ms"
+//	ghost-check -seed 42 -mutate skip-tseq # run one seed with a seeded bug
+//
+// Exit status is 1 if any invariant was violated, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghost/internal/check"
+	"ghost/internal/experiments"
+	"ghost/internal/sim"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 100, "number of consecutive seeds to scan (starting at -seed)")
+		seed     = flag.Uint64("seed", 1, "first seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output order is deterministic")
+		quick    = flag.Bool("quick", false, "halve every scenario horizon (CI smoke mode)")
+		repro    = flag.String("repro", "", `run one scenario from a repro string, e.g. "seed=7 policy=shinjuku cpus=4 threads=6 horizon=20.000ms"`)
+		mutate   = flag.String("mutate", "", "seed an intentional protocol bug: "+strings.Join(check.MutationNames(), ", "))
+		noShrink = flag.Bool("noshrink", false, "report the first failing scenario without shrinking it")
+		verbose  = flag.Bool("v", false, "print every scenario as it is checked")
+	)
+	flag.Parse()
+
+	if *mutate != "" && !contains(check.MutationNames(), *mutate) {
+		fmt.Fprintf(os.Stderr, "ghost-check: unknown mutation %q (want one of %s)\n",
+			*mutate, strings.Join(check.MutationNames(), ", "))
+		os.Exit(2)
+	}
+
+	if *repro != "" {
+		s, err := check.ParseRepro(*repro)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ghost-check:", err)
+			os.Exit(2)
+		}
+		if *mutate != "" {
+			s.Mutation = *mutate
+		}
+		os.Exit(reportScenario(s.Run()))
+	}
+
+	jobs := make([]experiments.Job, *seeds)
+	for i := range jobs {
+		s := check.Generate(*seed + uint64(i))
+		if *quick {
+			if s.Horizon /= 2; s.Horizon < 5*sim.Millisecond {
+				s.Horizon = 5 * sim.Millisecond
+			}
+		}
+		s.Mutation = *mutate
+		jobs[i] = experiments.Job{
+			Name: s.Repro(),
+			Seed: s.Seed,
+			Run:  func() any { return s.Run() },
+		}
+	}
+	results := experiments.RunJobs(*parallel, jobs)
+
+	failures := 0
+	for _, r := range results {
+		res := r.(*check.Result)
+		if *verbose {
+			fmt.Printf("checked %s: %d violations\n", res.Scenario.Repro(), len(res.Violations))
+		}
+		if !res.Failed() {
+			continue
+		}
+		failures++
+		if failures > 1 {
+			// Report every failing seed but only shrink the first.
+			fmt.Printf("\nFAIL %s (%d violations)\n", res.Scenario.Repro(), len(res.Violations))
+			continue
+		}
+		reportFailure(res, !*noShrink)
+	}
+	if failures > 0 {
+		fmt.Printf("\nghost-check: %d/%d scenarios violated invariants\n", failures, len(jobs))
+		os.Exit(1)
+	}
+	fmt.Printf("ghost-check: %d scenarios OK (seeds %d..%d)\n", len(jobs), *seed, *seed+uint64(*seeds)-1)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// reportScenario prints one result and returns the exit status.
+func reportScenario(res *check.Result) int {
+	if !res.Failed() {
+		fmt.Printf("ghost-check: OK: %s\n", res.Scenario.Repro())
+		return 0
+	}
+	reportFailure(res, false)
+	return 1
+}
+
+// reportFailure prints a failing scenario's violations and, when asked,
+// shrinks it to a minimal repro.
+func reportFailure(res *check.Result, shrink bool) {
+	fmt.Printf("\nFAIL %s\n", res.Scenario.Repro())
+	for _, v := range res.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	if !shrink {
+		return
+	}
+	fmt.Printf("shrinking...\n")
+	small, sres := check.Shrink(res.Scenario)
+	fmt.Printf("minimal repro (%d violations, %d threads, %d fault ops):\n",
+		len(sres.Violations), small.Threads, small.FaultOps())
+	fmt.Printf("  ghost-check -repro %q\n", small.Repro())
+	for _, v := range sres.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+}

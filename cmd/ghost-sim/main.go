@@ -38,6 +38,7 @@ type scenario struct {
 	traceOut string
 	metrics  bool
 	faultsIn string
+	invar    bool
 }
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 		traceLog = flag.Bool("tracelog", false, "dump the kernel's text scheduling trace to stdout")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)")
 		metrics  = flag.Bool("metrics", false, "print aggregate scheduling metrics after the run")
+		invar    = flag.Bool("invariants", true, "check protocol invariants online (see cmd/ghost-check); violations exit non-zero")
 		faultsIn = flag.String("faults", "", `fault plan, e.g. "upgrade@500ms" or "crash@300ms" or `+
 			`"msgdrop@100ms/50ms/0.2,ipidelay@200ms/10ms/30us" (kinds: crash, stall, slow, `+
 			`msgdrop, msgdelay, msgdup, ipidelay, ipiloss, txnfail, upgrade)`)
@@ -89,7 +91,7 @@ func main() {
 		machine: *machine, topo: topo, sched: *sched, rate: *rate,
 		service: *service, bimodal: *bimodal, workers: *workers, cpus: *cpus,
 		dur: *dur, seed: *seed, traceLog: *traceLog, traceOut: *traceOut,
-		metrics: *metrics, faultsIn: *faultsIn,
+		metrics: *metrics, faultsIn: *faultsIn, invar: *invar,
 	}
 	if *seeds <= 1 {
 		out, err := sc.run()
@@ -140,6 +142,9 @@ func main() {
 func (sc scenario) run() (string, error) {
 	var b strings.Builder
 	var opts []ghost.MachineOption
+	if sc.invar {
+		opts = append(opts, ghost.WithInvariants())
+	}
 	if sc.traceOut != "" {
 		opts = append(opts, ghost.WithTrace(ghost.NewTracer()))
 	}
@@ -206,6 +211,17 @@ func (sc scenario) run() (string, error) {
 
 	if sc.metrics {
 		fmt.Fprint(&b, m.Metrics())
+	}
+	if ck := m.Invariants(); ck != nil {
+		ck.Finish(m.Now())
+		if ck.Failed() {
+			vs := ck.Violations()
+			for _, v := range vs {
+				fmt.Fprintf(&b, "invariant violation: %s\n", v)
+			}
+			return b.String(), fmt.Errorf("ghost-sim: %d invariant violations (repro: rerun with -seed %d)",
+				len(vs), sc.seed)
+		}
 	}
 	if sc.traceOut != "" {
 		f, err := os.Create(sc.traceOut)

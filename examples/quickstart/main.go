@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 
 	"ghost"
@@ -47,8 +48,8 @@ func main() {
 	// moves every thread back to CFS and destroys the enclave.
 	gen2.Crash()
 	m.Run(ghost.Millisecond)
-	fmt.Printf("after crash: enclave destroyed=%v, reason=%q — threads now run under CFS\n",
-		enc.Destroyed(), enc.DestroyedFor)
+	fmt.Printf("after crash: enclave destroyed=%v, crash=%v — threads now run under CFS\n",
+		enc.Destroyed(), errors.Is(enc.DestroyCause(), ghost.ErrAgentCrash))
 
 	// The machine aggregates scheduling metrics the whole time (build
 	// with ghost.WithTrace to also record a Perfetto timeline).

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"ghost"
@@ -11,12 +12,21 @@ import (
 	"ghost/internal/workload"
 )
 
+// quick shortens the simulation for CI smoke runs; the printed ratios
+// are then noisy but the program exercises the full pipeline.
+var quick = flag.Bool("quick", false, "run 100ms instead of 2s (CI smoke)")
+
 func run(useGhost bool) [3]sim.Duration {
 	m := ghost.NewMachine(ghost.AMDRome())
 	defer m.Shutdown()
 
 	cfg := workload.DefaultSearchConfig()
 	cfg.SamplePeriod = 200 * sim.Millisecond
+	dur := 2 * ghost.Second
+	if *quick {
+		cfg.SamplePeriod = 20 * sim.Millisecond
+		dur = 100 * ghost.Millisecond
+	}
 
 	spawnServer := func(name string, body ghost.ThreadFunc) *ghost.Thread {
 		return m.Spawn(ghost.ThreadOpts{Name: name}, body)
@@ -35,7 +45,7 @@ func run(useGhost bool) [3]sim.Duration {
 				return m.Spawn(ghost.ThreadOpts{Name: name, Affinity: aff}, body)
 			}, spawnServer)
 	}
-	m.Run(2 * ghost.Second)
+	m.Run(dur)
 	var out [3]sim.Duration
 	for qt := 0; qt < 3; qt++ {
 		out[qt] = s.Totals[qt].Hist.P99()
@@ -44,6 +54,7 @@ func run(useGhost bool) [3]sim.Duration {
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("Google Search model on 256-CPU AMD Rome (2s simulated, ~1min wall each)...")
 	cfs := run(false)
 	gho := run(true)

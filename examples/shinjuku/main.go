@@ -4,12 +4,16 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"ghost"
 	"ghost/internal/sim"
 	"ghost/internal/workload"
 )
+
+// quick shortens the simulation for CI smoke runs.
+var quick = flag.Bool("quick", false, "run 150ms instead of 1s (CI smoke)")
 
 func run(preemptive bool, rate float64) *workload.LatencyRecorder {
 	m := ghost.NewMachine(ghost.XeonE5())
@@ -27,18 +31,23 @@ func run(preemptive bool, rate float64) *workload.LatencyRecorder {
 		m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global()) // run to completion
 	}
 
-	rec := &workload.LatencyRecorder{WarmupUntil: 100 * sim.Millisecond}
+	dur, warm := ghost.Second, 100*sim.Millisecond
+	if *quick {
+		dur, warm = 150*ghost.Millisecond, 20*sim.Millisecond
+	}
+	rec := &workload.LatencyRecorder{WarmupUntil: warm}
 	pool := workload.NewWorkerPool(m.Kernel(), 200, rec, func(name string, body ghost.ThreadFunc) *ghost.Thread {
 		return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
 	})
 	workload.NewPoissonSource(m.Kernel().Engine(), sim.NewRand(7), rate,
 		workload.RocksDBService(), pool.Submit)
 
-	m.Run(ghost.Second)
+	m.Run(dur)
 	return rec
 }
 
 func main() {
+	flag.Parse()
 	const rate = 280000
 	fmt.Printf("RocksDB bimodal workload at %d req/s on 20 CPUs:\n\n", int(rate))
 	pre := run(true, rate)

@@ -4,12 +4,16 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"ghost"
 	"ghost/internal/sim"
 	"ghost/internal/workload"
 )
+
+// quick shortens the simulation for CI smoke runs.
+var quick = flag.Bool("quick", false, "run 200ms instead of 2s (CI smoke)")
 
 func run(useGhost bool) (*workload.LatencyRecorder, *workload.LatencyRecorder) {
 	m := ghost.NewMachine(ghost.Skylake())
@@ -48,12 +52,17 @@ func run(useGhost bool) (*workload.LatencyRecorder, *workload.LatencyRecorder) {
 				workload.Spinner(100*ghost.Microsecond))
 		}
 	}
-	snap.SetWarmup(200 * sim.Millisecond)
-	m.Run(2 * ghost.Second)
+	dur, warm := 2*ghost.Second, 200*sim.Millisecond
+	if *quick {
+		dur, warm = 200*ghost.Millisecond, 20*sim.Millisecond
+	}
+	snap.SetWarmup(warm)
+	m.Run(dur)
 	return &snap.Rec64B, &snap.Rec64K
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("Snap packet workers, loaded mode (6 flows @10k msg/s + 40 antagonists)...")
 	mqB, mqK := run(false)
 	gB, gK := run(true)

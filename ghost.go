@@ -12,10 +12,9 @@
 //	m := ghost.NewMachine(ghost.Skylake())
 //	defer m.Shutdown()
 //	enc := m.NewEnclave(m.AllCPUs())
-//	m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
-//	enc.SpawnThread(ghost.ThreadOpts{Name: "worker"}, func(tc *ghost.Task) {
-//	    tc.Run(10 * ghost.Microsecond)
-//	})
+//	m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global())
+//	m.Spawn(ghost.ThreadOpts{Name: "worker", Class: ghost.Ghost(enc)},
+//	    func(tc *ghost.Task) { tc.Run(10 * ghost.Microsecond) })
 //	m.Run(ghost.Millisecond)
 //
 // Everything the paper's evaluation needs is re-exported here: machine
@@ -25,6 +24,7 @@ package ghost
 
 import (
 	"ghost/internal/agentsdk"
+	"ghost/internal/check"
 	"ghost/internal/faults"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
@@ -135,6 +135,38 @@ const (
 	TxnCPUNotAvail       = ghostcore.TxnCPUNotAvail
 	TxnThreadNotRunnable = ghostcore.TxnThreadNotRunnable
 )
+
+// Typed enclave-destruction causes: Enclave.DestroyCause wraps one of
+// these, so callers classify failures with errors.Is instead of matching
+// reason strings.
+var (
+	// ErrWatchdog: a runnable thread starved past the watchdog timeout.
+	ErrWatchdog = ghostcore.ErrWatchdog
+	// ErrAgentCrash: the last agent detached with no upgrade pending.
+	ErrAgentCrash = ghostcore.ErrAgentCrash
+	// ErrUpgradeTimeout: a pending upgrade's successor never attached.
+	ErrUpgradeTimeout = ghostcore.ErrUpgradeTimeout
+	// ErrDestroyed: the enclave was torn down explicitly.
+	ErrDestroyed = ghostcore.ErrDestroyed
+)
+
+// Invariant checking (attach with WithInvariants; see cmd/ghost-check
+// for the standalone property-based scanner).
+type (
+	// InvariantOracle checks one protocol invariant online; implement
+	// internal/check.Oracle (embedding check.Base) for custom oracles.
+	InvariantOracle = check.Oracle
+	// InvariantChecker collects violations from the attached oracles.
+	InvariantChecker = check.Checker
+	// InvariantViolation is one observed invariant breach.
+	InvariantViolation = check.Violation
+)
+
+// DefaultInvariants returns a fresh instance of every built-in protocol
+// oracle: sequence monotonicity, status-word consistency, transaction
+// atomicity, message conservation, no-lost-thread, and CFS-fallback
+// liveness.
+var DefaultInvariants = check.Default
 
 // Agent/policy framework types.
 type (

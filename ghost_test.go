@@ -13,11 +13,11 @@ func TestQuickstart(t *testing.T) {
 	m := ghost.NewMachine(ghost.XeonE5())
 	defer m.Shutdown()
 	enc := m.NewEnclave(ghost.MaskOf(0, 1, 2, 3))
-	set := m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
+	set := m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global())
 
 	done := 0
 	for i := 0; i < 8; i++ {
-		ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: "worker"}, func(tc *ghost.Task) {
+		m.Spawn(ghost.ThreadOpts{Name: "worker", Class: ghost.Ghost(enc)}, func(tc *ghost.Task) {
 			tc.Run(50 * ghost.Microsecond)
 			done++
 		})
@@ -36,9 +36,9 @@ func TestPublicPolicies(t *testing.T) {
 	defer m.Shutdown()
 	enc := m.NewEnclave(ghost.MaskOf(0, 1, 2, 3, 4, 5))
 	pol := ghost.NewShinjukuPolicy()
-	m.StartGlobalAgent(enc, pol)
+	m.StartAgents(enc, pol, ghost.Global())
 
-	long := ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: "long"}, func(tc *ghost.Task) {
+	long := m.Spawn(ghost.ThreadOpts{Name: "long", Class: ghost.Ghost(enc)}, func(tc *ghost.Task) {
 		tc.Run(ghost.Millisecond)
 	})
 	m.Run(2 * ghost.Millisecond)
@@ -52,9 +52,9 @@ func TestPublicSnapPolicy(t *testing.T) {
 	defer m.Shutdown()
 	enc := m.NewEnclave(ghost.MaskOf(0, 1, 2))
 	pol := ghost.SnapPolicy(func(t *ghost.Thread) bool { return t.Name() == "snap" })
-	m.StartGlobalAgent(enc, pol)
+	m.StartAgents(enc, pol, ghost.Global())
 
-	batch := ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: "batch"}, func(tc *ghost.Task) {
+	batch := m.Spawn(ghost.ThreadOpts{Name: "batch", Class: ghost.Ghost(enc)}, func(tc *ghost.Task) {
 		for {
 			tc.Run(100 * ghost.Microsecond)
 		}
@@ -63,7 +63,7 @@ func TestPublicSnapPolicy(t *testing.T) {
 	if batch.CPUTime() == 0 {
 		t.Fatal("batch never ran on idle enclave")
 	}
-	snap := ghost.SpawnGhostThread(enc, ghost.ThreadOpts{Name: "snap"}, func(tc *ghost.Task) {
+	snap := m.Spawn(ghost.ThreadOpts{Name: "snap", Class: ghost.Ghost(enc)}, func(tc *ghost.Task) {
 		tc.Run(20 * ghost.Microsecond)
 	})
 	m.Run(ghost.Millisecond)
@@ -92,7 +92,7 @@ func TestMachineHelpers(t *testing.T) {
 	if len(m.IdleCPUs()) != 72 {
 		t.Fatal("idle CPUs mismatch on empty machine")
 	}
-	th := m.SpawnThread(ghost.ThreadOpts{Name: "t"}, func(tc *ghost.Task) {
+	th := m.Spawn(ghost.ThreadOpts{Name: "t"}, func(tc *ghost.Task) {
 		tc.Block()
 		tc.Run(10 * ghost.Microsecond)
 	})
@@ -107,7 +107,7 @@ func TestMachineHelpers(t *testing.T) {
 func TestMicroQuantaFacade(t *testing.T) {
 	m := ghost.NewMachine(ghost.XeonE5())
 	defer m.Shutdown()
-	th := m.SpawnMicroQuanta(ghost.ThreadOpts{Name: "rt", Affinity: ghost.MaskOf(0)},
+	th := m.Spawn(ghost.ThreadOpts{Name: "rt", Affinity: ghost.MaskOf(0), Class: ghost.MicroQuanta},
 		func(tc *ghost.Task) {
 			for {
 				tc.Run(100 * ghost.Microsecond)

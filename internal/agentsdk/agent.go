@@ -351,22 +351,6 @@ func (set *AgentSet) eachTargetRunner(cpu hw.CPUID, fn func(*runner)) {
 	}
 }
 
-// StartCentralized launches a centralized agent set.
-//
-// Deprecated: use Start, which infers the model from the policy type
-// and accepts options (repoll, fault plans, upgrade policies).
-func StartCentralized(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy GlobalPolicy) *AgentSet {
-	return Start(k, enc, ac, policy, Global())
-}
-
-// StartPerCPU launches a per-CPU agent set.
-//
-// Deprecated: use Start, which infers the model from the policy type
-// and accepts options (repoll, fault plans, upgrade policies).
-func StartPerCPU(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, policy PerCPUPolicy) *AgentSet {
-	return Start(k, enc, ac, policy, PerCPU())
-}
-
 // startCentralized launches the centralized model: a global agent on
 // the first enclave CPU polling a single global queue, plus inactive
 // agents on every other CPU for hot handoff (§3.3).

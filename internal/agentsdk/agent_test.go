@@ -51,7 +51,7 @@ func spawnWorkers(e *env, n, iters int, work sim.Duration) []*kernel.Thread {
 
 func TestCentralizedSchedulesWorkers(t *testing.T) {
 	e := newEnv(t, 8)
-	set := agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	set := agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	workers := spawnWorkers(e, 4, 10, 20*sim.Microsecond)
 	// Drive: wake each worker every 100us.
 	sim.NewTicker(e.eng, 100*sim.Microsecond, func(sim.Time) {
@@ -84,7 +84,7 @@ func TestCentralizedSchedulesWorkers(t *testing.T) {
 
 func TestCentralizedAgentOccupiesOneCPU(t *testing.T) {
 	e := newEnv(t, 4)
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	e.eng.RunFor(5 * sim.Millisecond)
 	// Agent spins on CPU 0.
 	busy := e.k.CPU(0).BusyTime()
@@ -99,7 +99,7 @@ func TestCentralizedAgentOccupiesOneCPU(t *testing.T) {
 
 func TestPerCPUSchedulesWorkers(t *testing.T) {
 	e := newEnv(t, 4)
-	set := agentsdk.StartPerCPU(e.k, e.enc, e.ac, policies.NewPerCPUFIFO())
+	set := agentsdk.Start(e.k, e.enc, e.ac, policies.NewPerCPUFIFO(), agentsdk.PerCPU())
 	workers := spawnWorkers(e, 6, 8, 30*sim.Microsecond)
 	sim.NewTicker(e.eng, 200*sim.Microsecond, func(sim.Time) {
 		for _, w := range workers {
@@ -129,7 +129,7 @@ func TestPerCPUSchedulesWorkers(t *testing.T) {
 func TestPerCPUWorkStealing(t *testing.T) {
 	e := newEnv(t, 4)
 	pol := policies.NewPerCPUFIFO()
-	agentsdk.StartPerCPU(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.PerCPU())
 	// Many short-lived CPU-bound ghost threads spawned at once: stealing
 	// must spread them across CPUs.
 	var ths []*kernel.Thread
@@ -157,7 +157,7 @@ func TestPerCPUWorkStealing(t *testing.T) {
 
 func TestHotHandoff(t *testing.T) {
 	e := newEnv(t, 4)
-	set := agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	set := agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	e.eng.RunFor(sim.Millisecond)
 	if got := set.GlobalAgentThread().OnCPU(); got != 0 {
 		t.Fatalf("global agent on cpu %d, want 0", got)
@@ -186,7 +186,7 @@ func TestHotHandoff(t *testing.T) {
 
 func TestAgentCrashFallsBackToCFS(t *testing.T) {
 	e := newEnv(t, 4)
-	set := agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	set := agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	workers := spawnWorkers(e, 2, 1, 50*sim.Microsecond)
 	for _, w := range workers {
 		e.k.Wake(w)
@@ -205,7 +205,7 @@ func TestAgentCrashFallsBackToCFS(t *testing.T) {
 
 func TestInPlaceUpgrade(t *testing.T) {
 	e := newEnv(t, 4)
-	set1 := agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	set1 := agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	workers := spawnWorkers(e, 3, 60, 20*sim.Microsecond)
 	sim.NewTicker(e.eng, 100*sim.Microsecond, func(sim.Time) {
 		for _, w := range workers {
@@ -220,7 +220,7 @@ func TestInPlaceUpgrade(t *testing.T) {
 	if e.enc.Destroyed() {
 		t.Fatal("enclave destroyed during upgrade")
 	}
-	set2 := agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	set2 := agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	e.eng.RunFor(30 * sim.Millisecond)
 	for i, w := range workers {
 		if w.State() != kernel.StateDead {
@@ -235,7 +235,7 @@ func TestInPlaceUpgrade(t *testing.T) {
 func TestRepollAfterDrivesTimeslice(t *testing.T) {
 	e := newEnv(t, 4)
 	pol := &repollPolicy{inner: policies.NewCentralFIFO()}
-	set := agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	set := agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 	e.eng.RunFor(5 * sim.Millisecond)
 	if pol.polls < 40 {
 		t.Fatalf("repoll count = %d, want ~50 (every 100us)", pol.polls)
@@ -273,7 +273,7 @@ func TestPriorityBandsWithPreemption(t *testing.T) {
 		}
 		return 1
 	}
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 	// Batch threads saturate all schedulable CPUs (1,2,3; agent on 0).
 	var batch []*kernel.Thread
 	for i := 0; i < 3; i++ {

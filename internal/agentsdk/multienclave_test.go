@@ -27,12 +27,12 @@ func TestMultipleEnclaves(t *testing.T) {
 	// Enclave 0: per-CPU scheduling on socket 0 (CPUs 0-3, 8-11).
 	mask0 := kernel.MaskOf(topo.CPUsOfSocket(0)...)
 	enc0 := ghostcore.NewEnclave(g, mask0)
-	set0 := agentsdk.StartPerCPU(k, enc0, ac, policies.NewPerCPUFIFO())
+	set0 := agentsdk.Start(k, enc0, ac, policies.NewPerCPUFIFO(), agentsdk.PerCPU())
 
 	// Enclave 1: centralized scheduling on socket 1.
 	mask1 := kernel.MaskOf(topo.CPUsOfSocket(1)...)
 	enc1 := ghostcore.NewEnclave(g, mask1)
-	set1 := agentsdk.StartCentralized(k, enc1, ac, policies.NewCentralFIFO())
+	set1 := agentsdk.Start(k, enc1, ac, policies.NewCentralFIFO(), agentsdk.Global())
 
 	spawn := func(enc *ghostcore.Enclave, n int) []*kernel.Thread {
 		var out []*kernel.Thread

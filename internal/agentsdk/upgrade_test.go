@@ -1,7 +1,7 @@
 package agentsdk_test
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"ghost/internal/agentsdk"
@@ -47,8 +47,8 @@ func TestUpgradeAttachTimeoutFallsBack(t *testing.T) {
 	if !e.enc.Destroyed() {
 		t.Fatal("upgrade timeout never re-armed the crash fallback; threads stranded")
 	}
-	if !strings.Contains(e.enc.DestroyedFor, "upgrade") {
-		t.Errorf("destroy reason = %q, want an upgrade-timeout reason", e.enc.DestroyedFor)
+	if !errors.Is(e.enc.DestroyCause(), ghostcore.ErrUpgradeTimeout) {
+		t.Errorf("destroy cause = %v, want ErrUpgradeTimeout", e.enc.DestroyCause())
 	}
 	// The workers finish under the fallback scheduler (1ms of work each).
 	e.eng.RunFor(20 * sim.Millisecond)
@@ -126,7 +126,7 @@ func TestUpgradeUnderLoad(t *testing.T) {
 
 	e.eng.RunFor(30 * sim.Millisecond)
 	if e.enc.Destroyed() {
-		t.Fatalf("enclave destroyed during upgrades: %q", e.enc.DestroyedFor)
+		t.Fatalf("enclave destroyed during upgrades: %v", e.enc.DestroyCause())
 	}
 	if done != 6 {
 		t.Errorf("%d/6 workers completed across %d upgrades; threads were lost", done, nUpgrades)

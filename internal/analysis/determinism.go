@@ -26,7 +26,7 @@ var DeterminismAnalyzer = &Analyzer{
 // legitimate), as are cmd/ progress timers.
 var determinismScope = []string{
 	"sim", "kernel", "ghostcore", "agentsdk", "faults",
-	"policies", "baselines", "workload",
+	"policies", "baselines", "workload", "check",
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

@@ -49,12 +49,4 @@ var (
 	// Start launches an agent set, inferring the model from the policy
 	// (see agentsdk.Start and its Options).
 	Start = agentsdk.Start
-	// StartCentralized launches a centralized agent set.
-	//
-	// Deprecated: use Start with agentsdk.Global().
-	StartCentralized = agentsdk.StartCentralized
-	// StartPerCPU launches a per-CPU agent set.
-	//
-	// Deprecated: use Start with agentsdk.PerCPU().
-	StartPerCPU = agentsdk.StartPerCPU
 )

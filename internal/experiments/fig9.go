@@ -191,7 +191,7 @@ func fig9Run(mode fig9Mode, o Options) *fig9Result {
 	fallbackWatch := sim.NewTicker(m.eng, 100*sim.Microsecond, func(now sim.Time) {
 		if enc.Destroyed() && res.fallbackAt == 0 {
 			res.fallbackAt = now
-			res.destroyedFor = enc.DestroyedFor
+			res.destroyedFor = enc.DestroyCause().Error()
 		}
 	})
 
@@ -200,7 +200,7 @@ func fig9Run(mode fig9Mode, o Options) *fig9Result {
 	res.end = m.eng.Now()
 	if enc.Destroyed() && res.fallbackAt == 0 {
 		res.fallbackAt = res.end
-		res.destroyedFor = enc.DestroyedFor
+		res.destroyedFor = enc.DestroyCause().Error()
 	}
 	return res
 }

@@ -56,6 +56,13 @@ type Class struct {
 	installFn   func(any)
 	installPool []*installRec
 
+	// observers receive protocol events (invariant checking); empty in
+	// normal operation so every emission is a nil-slice loop.
+	observers []Observer
+	// Mut holds intentionally seeded protocol bugs for the checker's
+	// mutation tests; the zero value is correct behavior.
+	Mut Mutations
+
 	// Stats.
 	MsgsPosted  uint64
 	TxnsOK      uint64
@@ -140,11 +147,33 @@ func (g *Class) postThreadMsg(t *kernel.Thread, mt MsgType) {
 	if gt == nil || gt.enc.destroyed {
 		return
 	}
-	gt.tseq++
+	if len(g.observers) > 0 {
+		g.obsMsgIntent(gt.enc, t.TID(), mt)
+	}
+	old := gt.tseq
+	if !(g.Mut.SkipTseqBump && mt == MsgThreadWakeup) {
+		gt.tseq++
+	}
+	if len(g.observers) > 0 {
+		g.obsTseq(gt.enc, t, old, gt.tseq, mt)
+	}
 	gt.sw.Seq = gt.tseq
 	gt.sw.Runnable = gt.runnable
-	gt.sw.OnCPU = t.State() == kernel.StateRunning
-	gt.sw.CPU = t.OnCPU()
+	switch mt {
+	case MsgThreadPreempted, MsgThreadBlocked, MsgThreadYield, MsgThreadDead:
+		// These messages mark an off-CPU transition; the kernel may post
+		// them just before the context switch completes, so the status
+		// word must already drop the OnCpu claim (§3.1).
+		gt.sw.OnCPU = false
+		gt.sw.CPU = hw.NoCPU
+	default:
+		gt.sw.OnCPU = t.State() == kernel.StateRunning
+		gt.sw.CPU = t.OnCPU()
+	}
+	if g.Mut.DropWakeup && mt == MsgThreadWakeup {
+		// Seeded lost-wakeup bug: the message never reaches the queue.
+		return
+	}
 	gt.pendingMsgs++
 	g.MsgsPosted++
 	if mt == MsgThreadPreempted {
@@ -205,15 +234,25 @@ func (g *Class) clearSlot(t *kernel.Thread) {
 		return
 	}
 	gt.latched = false
+	found := false
 	for i, s := range g.slots {
 		if s == t {
 			g.slots[i] = nil
+			found = true
+			g.obsUnlatched(gt.enc, hw.CPUID(i), t, "clear")
 		}
 	}
 	for i, s := range g.inflight {
 		if s == t {
 			g.inflight[i] = nil
+			found = true
+			g.obsUnlatched(gt.enc, hw.CPUID(i), t, "clear")
 		}
+	}
+	if !found {
+		// Latched flag without a slot (e.g. inflight entry already taken
+		// over): still announce the release so checkers stay consistent.
+		g.obsUnlatched(gt.enc, hw.NoCPU, t, "clear")
 	}
 }
 
@@ -236,7 +275,10 @@ func (g *Class) PickNext(c *kernel.CPU, prev *kernel.Thread) *kernel.Thread {
 	}
 	if s == prev {
 		g.slots[c.ID] = nil
-		gstate(s).latched = false
+		sgt := gstate(s)
+		sgt.latched = false
+		g.obsUnlatched(sgt.enc, c.ID, s, "switch-in")
+		g.obsInstalled(sgt.enc, c.ID, s)
 		return prev
 	}
 	if s.State() != kernel.StateRunnable || !s.Affinity().Has(c.ID) {
@@ -244,6 +286,7 @@ func (g *Class) PickNext(c *kernel.CPU, prev *kernel.Thread) *kernel.Thread {
 		g.slots[c.ID] = nil
 		if gt := gstate(s); gt != nil {
 			gt.latched = false
+			g.obsUnlatched(gt.enc, c.ID, s, "stale")
 		}
 		return prev
 	}
@@ -253,6 +296,8 @@ func (g *Class) PickNext(c *kernel.CPU, prev *kernel.Thread) *kernel.Thread {
 	gt.runnable = false
 	gt.sw.OnCPU = true
 	gt.sw.CPU = c.ID
+	g.obsUnlatched(gt.enc, c.ID, s, "switch-in")
+	g.obsInstalled(gt.enc, c.ID, s)
 	if prev != nil {
 		// Transactional preemption of the running ghOSt thread (§3.3).
 		g.Enqueue(prev, c.ID, kernel.EnqPreempt)
@@ -323,6 +368,7 @@ func (g *Class) onIdle(c *kernel.CPU) {
 	gt.latched = true
 	gt.runnable = false
 	g.slots[c.ID] = t
+	g.obsLatched(enc, c.ID, t)
 	g.BPFCommits++
 	if tr := g.k.Tracer(); tr != nil {
 		tr.BPFCommit(g.k.Now(), enc.id, uint64(t.TID()), c.ID)

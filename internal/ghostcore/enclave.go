@@ -75,7 +75,7 @@ type Enclave struct {
 	tickless        bool
 
 	destroyed    bool
-	DestroyedFor string
+	destroyCause error
 }
 
 // NewEnclave partitions the given CPUs into a new enclave. Panics if any
@@ -113,6 +113,12 @@ func (e *Enclave) CPUs() kernel.Mask { return e.cpus }
 
 // Destroyed reports whether the enclave has been torn down.
 func (e *Enclave) Destroyed() bool { return e.destroyed }
+
+// DestroyCause reports why the enclave was torn down, nil while it is
+// alive. The cause wraps one of the typed sentinels (ErrWatchdog,
+// ErrAgentCrash, ErrUpgradeTimeout, ErrDestroyed), so callers classify
+// it with errors.Is.
+func (e *Enclave) DestroyCause() error { return e.destroyCause }
 
 // DefaultQueue returns the queue threads are implicitly associated with.
 func (e *Enclave) DefaultQueue() *Queue { return e.defaultQueue }
@@ -273,7 +279,7 @@ func (e *Enclave) DetachAgent(a *Agent) {
 		delete(e.agents, a.cpu)
 	}
 	if len(e.agents) == 0 && !e.upgradePending && !e.destroyed {
-		e.DestroyWith("all agents exited")
+		e.DestroyWith(fmt.Errorf("%w: all agents exited", ErrAgentCrash))
 	}
 }
 
@@ -319,7 +325,7 @@ func (e *Enclave) upgradeTimedOut() {
 		tr.EnclaveEvent(e.k.Now(), e.id, "upgrade-timeout", "")
 	}
 	if len(e.agents) == 0 {
-		e.DestroyWith("upgrade-attach timeout")
+		e.DestroyWith(ErrUpgradeTimeout)
 	}
 }
 
@@ -368,6 +374,11 @@ func (e *Enclave) SetTickless(on bool) {
 // whose IPI is still in flight. Agents and policies use this to avoid
 // double-committing a CPU.
 func (e *Enclave) LatchedFor(cpu hw.CPUID) *kernel.Thread {
+	if e.g.Mut.DoubleLatch {
+		// Seeded double-latch bug: claim no commit is pending, so agents
+		// and policies happily commit a second thread to the CPU.
+		return nil
+	}
 	if !e.cpus.Has(cpu) {
 		return nil
 	}
@@ -391,6 +402,17 @@ func (e *Enclave) DebugThreadState(t *kernel.Thread) (runnable, latched bool) {
 		return false, false
 	}
 	return gt.runnable, gt.latched
+}
+
+// DebugRunnableSince returns when the thread last entered the
+// runnable-waiting state (zero if it never has). Invariant checkers use
+// it to bound scheduling-decision latency.
+func (e *Enclave) DebugRunnableSince(t *kernel.Thread) sim.Time {
+	gt := gstate(t)
+	if gt == nil {
+		return 0
+	}
+	return gt.runnableSince
 }
 
 // DebugInstall, when set, observes every transaction install attempt.
@@ -423,6 +445,7 @@ func (e *Enclave) TxnsCommit(a *Agent, txns []*Txn) {
 	for _, txn := range txns {
 		e.commitOne(a, txn, n)
 	}
+	e.g.obsTxnGroup(e, txns, false)
 }
 
 // TxnsCommitAtomic is the synchronized group commit used by per-core
@@ -454,6 +477,7 @@ func (e *Enclave) TxnsCommitAtomic(a *Agent, txns []*Txn) bool {
 					}
 				}
 			}
+			e.g.obsTxnGroup(e, txns, true)
 			return false
 		}
 	}
@@ -464,6 +488,7 @@ func (e *Enclave) TxnsCommitAtomic(a *Agent, txns []*Txn) bool {
 	for _, txn := range txns {
 		e.apply(a, txn, n)
 	}
+	e.g.obsTxnGroup(e, txns, true)
 	return true
 }
 
@@ -478,6 +503,7 @@ func (e *Enclave) PreemptCPU(cpu hw.CPUID) {
 	if s := g.slots[cpu]; s != nil {
 		if gt := gstate(s); gt != nil {
 			gt.latched = false
+			g.obsUnlatched(e, cpu, s, "preempt-cpu")
 		}
 		g.slots[cpu] = nil
 		g.Preemptions++
@@ -486,6 +512,7 @@ func (e *Enclave) PreemptCPU(cpu hw.CPUID) {
 	if s := g.inflight[cpu]; s != nil {
 		if gt := gstate(s); gt != nil && gt.latched {
 			gt.latched = false
+			g.obsUnlatched(e, cpu, s, "preempt-cpu")
 			g.Preemptions++
 			g.postThreadMsg(s, MsgThreadPreempted)
 		}
@@ -606,14 +633,19 @@ func (g *Class) doInstall(rec *installRec) {
 		// to yield); drop the latch and hand the thread back to the
 		// agent as a preemption rather than parking it forever.
 		gt.latched = false
+		g.obsUnlatched(e, cpu, t, "cpu-taken")
 		g.Preemptions++
 		g.postThreadMsg(t, MsgThreadPreempted)
 		return
 	}
-	if old := g.slots[cpu]; old != nil && old != t {
-		// Displaced latch: hand the old thread back to the agent.
+	if old := g.slots[cpu]; old != nil && old != t && !g.Mut.DoubleLatch {
+		// Displaced latch: hand the old thread back to the agent. (Under
+		// the seeded DoubleLatch mutation the handback is skipped, so the
+		// displaced thread is silently lost — the bug the status-word
+		// oracle must catch.)
 		ogt := gstate(old)
 		ogt.latched = false
+		g.obsUnlatched(e, cpu, old, "displaced")
 		g.Enqueue(old, cpu, kernel.EnqPreempt)
 	}
 	g.slots[cpu] = t
@@ -630,6 +662,7 @@ func (e *Enclave) apply(a *Agent, txn *Txn, groupSize int) {
 	g.TxnsOK++
 	gt.latched = true
 	g.inflight[txn.CPU] = t
+	g.obsLatched(e, txn.CPU, t)
 
 	rec := g.getInstallRec()
 	*rec = installRec{e: e, t: t, gt: gt, cpu: txn.CPU, local: local, a: a}
@@ -686,6 +719,7 @@ func (e *Enclave) TxnsRecall(txns []*Txn) int {
 			continue
 		}
 		gt.latched = false
+		e.g.obsUnlatched(e, txn.CPU, t, "recall")
 		if e.g.slots[txn.CPU] == t {
 			e.g.slots[txn.CPU] = nil
 		}
@@ -720,17 +754,19 @@ func (e *Enclave) Hint(t *kernel.Thread) any {
 
 // Destroy tears the enclave down: agents are killed, all managed threads
 // fall back to the default scheduler, and the CPUs are released (§3.4).
-func (e *Enclave) Destroy() { e.DestroyWith("explicit destroy") }
+func (e *Enclave) Destroy() { e.DestroyWith(ErrDestroyed) }
 
-// DestroyWith records why the enclave died (watchdog, crash, explicit).
-func (e *Enclave) DestroyWith(reason string) {
+// DestroyWith records why the enclave died. cause should wrap one of the
+// typed sentinels (ErrWatchdog, ErrAgentCrash, ErrUpgradeTimeout,
+// ErrDestroyed) so DestroyCause stays classifiable with errors.Is.
+func (e *Enclave) DestroyWith(cause error) {
 	if e.destroyed {
 		return
 	}
 	e.destroyed = true
-	e.DestroyedFor = reason
+	e.destroyCause = cause
 	if tr := e.k.Tracer(); tr != nil {
-		tr.EnclaveEvent(e.k.Now(), e.id, "destroy", reason)
+		tr.EnclaveEvent(e.k.Now(), e.id, "destroy", cause.Error())
 	}
 	if e.watchdog != nil {
 		e.watchdog.Stop()
@@ -739,15 +775,19 @@ func (e *Enclave) DestroyWith(reason string) {
 	if e.upgradeDeadline != nil {
 		e.upgradeDeadline.Cancel()
 	}
-	e.k.Tracef("enclave %d destroyed: %s", e.id, reason)
+	e.k.Tracef("enclave %d destroyed: %s", e.id, cause)
 	if e.tickless {
 		e.SetTickless(false)
 	}
+	// Capture the managed set before the fallback empties it, so
+	// observers can audit that every thread left the ghOSt class.
+	managed := e.Threads()
 	// Clear latched slots.
 	e.cpus.ForEach(func(c hw.CPUID) bool {
 		if s := e.g.slots[c]; s != nil {
 			if gt := gstate(s); gt != nil {
 				gt.latched = false
+				e.g.obsUnlatched(e, c, s, "destroy")
 			}
 			e.g.slots[c] = nil
 		}
@@ -778,6 +818,7 @@ func (e *Enclave) DestroyWith(reason string) {
 		}
 	}
 	e.threads = map[kernel.TID]*kernel.Thread{}
+	e.g.obsDestroyed(e, cause, managed)
 }
 
 // EnableWatchdog starts the enclave watchdog (§3.4): if any runnable
@@ -809,7 +850,7 @@ func (e *Enclave) EnableWatchdog(timeout sim.Duration) {
 				if tr := e.k.Tracer(); tr != nil {
 					tr.EnclaveEvent(now, e.id, "watchdog-fired", t.Name())
 				}
-				e.DestroyWith(fmt.Sprintf("watchdog: %v runnable for %v", t, now-gt.runnableSince))
+				e.DestroyWith(fmt.Errorf("%w: %v runnable for %v", ErrWatchdog, t, now-gt.runnableSince))
 				return
 			}
 		}

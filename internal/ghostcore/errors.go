@@ -1,0 +1,17 @@
+package ghostcore
+
+import "errors"
+
+// Typed enclave-destruction causes (§3.4). Enclave.DestroyCause wraps one
+// of these sentinels, so callers classify failures with errors.Is instead
+// of matching reason strings.
+var (
+	// ErrWatchdog: a runnable thread starved past the watchdog timeout.
+	ErrWatchdog = errors.New("ghost: watchdog fired")
+	// ErrAgentCrash: the last agent detached with no upgrade pending.
+	ErrAgentCrash = errors.New("ghost: agent crash")
+	// ErrUpgradeTimeout: a pending upgrade's successor never attached.
+	ErrUpgradeTimeout = errors.New("ghost: upgrade-attach timeout")
+	// ErrDestroyed: the enclave was torn down explicitly.
+	ErrDestroyed = errors.New("ghost: enclave destroyed")
+)

@@ -372,7 +372,7 @@ func TestWatchdogQuietWhenServed(t *testing.T) {
 	})
 	env.eng.RunFor(60 * sim.Millisecond)
 	if env.enc.Destroyed() {
-		t.Fatalf("watchdog fired although threads were served: %s", env.enc.DestroyedFor)
+		t.Fatalf("watchdog fired although threads were served: %v", env.enc.DestroyCause())
 	}
 	if th.State() != kernel.StateDead {
 		t.Fatalf("thread did not finish: %v", th.State())

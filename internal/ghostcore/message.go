@@ -100,6 +100,7 @@ func (q *Queue) Len() int { return len(q.msgs) }
 // message is delivered twice (agents must tolerate stale sequences).
 func (q *Queue) post(m Message) {
 	if q.dead {
+		q.enc.g.obsMsgDiscarded(q.enc, m)
 		return
 	}
 	k := q.enc.k
@@ -111,22 +112,28 @@ func (q *Queue) post(m Message) {
 			if gt := q.enc.ghostOf(m.TID); gt != nil {
 				gt.pendingMsgs--
 			}
+			q.enc.g.obsMsgFaultDropped(q.enc, m)
 			return
 		case delay > 0:
-			k.Engine().After(delay, func() { q.deliver(m) })
+			q.enc.g.obsMsgDelayed(q.enc, m)
+			k.Engine().After(delay, func() { q.deliver(m, false, true) })
 			return
 		case dup:
-			q.deliver(m)
+			q.deliver(m, false, false)
 			if gt := q.enc.ghostOf(m.TID); gt != nil {
 				gt.pendingMsgs++
 			}
+			q.deliver(m, true, false)
+			return
 		}
 	}
-	q.deliver(m)
+	q.deliver(m, false, false)
 }
 
 // deliver appends a message, bumps Aseq, and wakes/pokes the consumer.
-func (q *Queue) deliver(m Message) {
+// dup marks the second copy of a fault-duplicated message; delayed marks
+// a delivery previously deferred by a fault window.
+func (q *Queue) deliver(m Message, dup, delayed bool) {
 	if q.dead {
 		return
 	}
@@ -134,9 +141,17 @@ func (q *Queue) deliver(m Message) {
 	if tr := q.enc.k.Tracer(); tr != nil {
 		tr.MsgPosted(q.enc.k.Now(), q.enc.id, q.name, m.Type.String(), uint64(m.TID), len(q.msgs))
 	}
+	g := q.enc.g
+	if len(g.observers) > 0 {
+		g.obsMsgDelivered(q.enc, m, dup, delayed)
+	}
 	if q.seqAgent != nil {
+		old := q.seqAgent.aseq
 		q.seqAgent.aseq++
 		q.seqAgent.sw.Seq = q.seqAgent.aseq
+		if len(g.observers) > 0 {
+			g.obsAseq(q.enc, q.seqAgent, old, q.seqAgent.aseq)
+		}
 	}
 	if q.wakeAgent != nil && q.wakeAgent.thread != nil {
 		k := q.enc.k
@@ -152,9 +167,13 @@ func (q *Queue) deliver(m Message) {
 func (q *Queue) Drain() []Message {
 	out := q.msgs
 	q.msgs = nil
+	g := q.enc.g
 	for _, m := range out {
 		if gt := q.enc.ghostOf(m.TID); gt != nil {
 			gt.pendingMsgs--
+		}
+		if len(g.observers) > 0 {
+			g.obsMsgDrained(q.enc, m)
 		}
 	}
 	return out
@@ -169,6 +188,9 @@ func (q *Queue) Pop() (Message, bool) {
 	q.msgs = q.msgs[1:]
 	if gt := q.enc.ghostOf(m.TID); gt != nil {
 		gt.pendingMsgs--
+	}
+	if g := q.enc.g; len(g.observers) > 0 {
+		g.obsMsgDrained(q.enc, m)
 	}
 	return m, true
 }

@@ -36,6 +36,7 @@ type Kernel struct {
 	idleHooks     []func(*CPU)
 	tickHooks     []func(*CPU)
 	pressureHooks []func(*CPU, *Thread)
+	switchHooks   []func(*CPU, *Thread)
 	tickless      []bool // per-CPU: skip timer ticks (§5 tickless mode)
 
 	// TraceFn, when set, receives a line per scheduling event.
@@ -190,6 +191,13 @@ func (k *Kernel) AddTickHook(fn func(*CPU)) { k.tickHooks = append(k.tickHooks, 
 // queued on a CPU held by a higher-priority one (e.g. a CFS thread
 // waiting behind a spinning global agent). The ghOSt agent SDK uses this
 // to trigger the global agent's "hot handoff" (§3.3).
+// AddSwitchHook registers fn to run after every context switch, once the
+// incoming thread is installed as the CPU's current. Invariant checkers
+// use it to audit cross-thread state at switch granularity.
+func (k *Kernel) AddSwitchHook(fn func(*CPU, *Thread)) {
+	k.switchHooks = append(k.switchHooks, fn)
+}
+
 func (k *Kernel) AddPressureHook(fn func(*CPU, *Thread)) {
 	k.pressureHooks = append(k.pressureHooks, fn)
 }
@@ -492,6 +500,9 @@ func (k *Kernel) switchTo(c *CPU, next *Thread) {
 	c.curr = next
 	c.accountBusy()
 	k.traceCPU(c)
+	for _, fn := range k.switchHooks {
+		fn(c, next)
+	}
 	// Cache-warmth penalty: one-time extra work after a migration.
 	if next.lastCPU != hw.NoCPU && next.pendingWork > 0 {
 		next.pendingWork += k.cost.MigrationPenalty(k.topo.Dist(next.lastCPU, c.ID))

@@ -17,7 +17,7 @@ func TestShinjukuDispersiveTail(t *testing.T) {
 	// monsters.
 	topo := hw.XeonE5()
 	e := newEnv(t, topo, kernel.MaskOf(0, 1, 2, 3, 4))
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewShinjuku())
+	agentsdk.Start(e.k, e.enc, e.ac, policies.NewShinjuku(), agentsdk.Global())
 	rec := &workload.LatencyRecorder{WarmupUntil: 20 * sim.Millisecond}
 	short := &workload.LatencyRecorder{WarmupUntil: 20 * sim.Millisecond}
 	pool := workload.NewWorkerPool(e.k, 50, rec, func(name string, body kernel.ThreadFunc) *kernel.Thread {
@@ -46,7 +46,7 @@ func TestSearchHoldForCCX(t *testing.T) {
 	e := newEnv(t, topo, kernel.MaskAll(8))
 	pol := policies.NewSearch()
 	pol.HoldForCCX = 100 * sim.Microsecond
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 
 	// Fill CCX 0 (CPUs 0,1,4,5) with long runners; agent is on CPU 0.
 	for i := 0; i < 3; i++ {
@@ -71,7 +71,7 @@ func TestSearchHoldForCCX(t *testing.T) {
 
 func TestCentralFIFOAffinityRespected(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskAll(8))
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	th := e.enc.SpawnThread(kernel.SpawnOpts{Name: "w", Affinity: kernel.MaskOf(3)},
 		func(tc *kernel.TaskContext) {
 			for i := 0; i < 20; i++ {
@@ -94,7 +94,7 @@ func TestCoreSchedWithCFSInterference(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskAll(8))
 	pol := policies.NewCoreSched(vmOf)
 	pol.Quantum = 300 * sim.Microsecond
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 	ic := workload.NewIsolationChecker(e.k, 50*sim.Microsecond)
 	set := workload.NewVMSet(e.k, 2, 4, 3*sim.Millisecond, 100*sim.Microsecond,
 		func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread {
@@ -123,7 +123,7 @@ func TestCoreSchedWithCFSInterference(t *testing.T) {
 func TestShinjukuQueueAccounting(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskOf(0, 1))
 	pol := policies.NewShinjuku()
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 	var ths []*kernel.Thread
 	for i := 0; i < 5; i++ {
 		ths = append(ths, e.enc.SpawnThread(kernel.SpawnOpts{Name: "w"}, func(tc *kernel.TaskContext) {

@@ -40,7 +40,7 @@ func topo8() *hw.Topology {
 func TestShinjukuTimeslicePreemption(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskOf(0, 1))
 	pol := policies.NewShinjuku()
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 
 	// A long request occupies the single worker CPU (cpu 1).
 	long := e.enc.SpawnThread(kernel.SpawnOpts{Name: "long"}, func(tc *kernel.TaskContext) {
@@ -74,7 +74,7 @@ func TestShinjukuTimeslicePreemption(t *testing.T) {
 
 func TestShinjukuRoundRobin(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskOf(0, 1))
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewShinjuku())
+	agentsdk.Start(e.k, e.enc, e.ac, policies.NewShinjuku(), agentsdk.Global())
 	var d1, d2 sim.Time
 	e.enc.SpawnThread(kernel.SpawnOpts{Name: "a"}, func(tc *kernel.TaskContext) {
 		tc.Run(300 * sim.Microsecond)
@@ -103,7 +103,7 @@ func TestShinjukuRoundRobin(t *testing.T) {
 func TestShinjukuShenangoBatchSharing(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskOf(0, 1, 2))
 	pol := policies.NewShinjukuShenango(func(t *kernel.Thread) bool { return t.Name() == "batch" })
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 
 	batch := e.enc.SpawnThread(kernel.SpawnOpts{Name: "batch"}, workload.Spinner(20*sim.Microsecond))
 	e.eng.RunFor(sim.Millisecond)
@@ -125,7 +125,7 @@ func TestShinjukuShenangoBatchSharing(t *testing.T) {
 
 func TestSearchLeastRuntimeFirst(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskOf(0, 1))
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewSearch())
+	agentsdk.Start(e.k, e.enc, e.ac, policies.NewSearch(), agentsdk.Global())
 	// Thread "old" accumulates runtime; thread "new" arrives with none.
 	// When both wait for the one worker CPU, "new" must win.
 	old := e.enc.SpawnThread(kernel.SpawnOpts{Name: "old"}, func(tc *kernel.TaskContext) {
@@ -161,7 +161,7 @@ func TestSearchCCXLocality(t *testing.T) {
 	// Rome-like: 1 socket, 2 CCXs of 2 cores each, SMT2 → 8 CPUs.
 	topo := hw.NewTopology(hw.Config{Name: "ccx", Sockets: 1, CCXsPerSocket: 2, CoresPerCCX: 2, SMTWidth: 2})
 	e := newEnv(t, topo, kernel.MaskAll(8))
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewSearch())
+	agentsdk.Start(e.k, e.enc, e.ac, policies.NewSearch(), agentsdk.Global())
 	// A worker that runs and blocks repeatedly; it should stay within
 	// its CCX even though other CCX CPUs are also idle.
 	w := e.enc.SpawnThread(kernel.SpawnOpts{Name: "w"}, func(tc *kernel.TaskContext) {
@@ -196,7 +196,7 @@ func TestCoreSchedIsolation(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskAll(8))
 	pol := policies.NewCoreSched(vmOf)
 	pol.Quantum = 500 * sim.Microsecond
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 	ic := workload.NewIsolationChecker(e.k, 50*sim.Microsecond)
 	set := workload.NewVMSet(e.k, 2, 4, 2*sim.Millisecond, 100*sim.Microsecond,
 		func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread {
@@ -218,7 +218,7 @@ func TestCoreSchedFairnessAcrossVMs(t *testing.T) {
 	e := newEnv(t, topo8(), kernel.MaskAll(8))
 	pol := policies.NewCoreSched(vmOf)
 	pol.Quantum = 200 * sim.Microsecond
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, pol)
+	agentsdk.Start(e.k, e.enc, e.ac, pol, agentsdk.Global())
 	// 2 VMs with 6 vCPUs each on 3 usable cores: both must progress.
 	set := workload.NewVMSet(e.k, 2, 6, 50*sim.Millisecond, 100*sim.Microsecond,
 		func(name string, tag any, body kernel.ThreadFunc) *kernel.Thread {
@@ -244,7 +244,7 @@ func TestCentralFIFOUnderLoad(t *testing.T) {
 	// End-to-end: Poisson load through a worker pool scheduled by the
 	// centralized FIFO policy; all requests complete with sane latency.
 	e := newEnv(t, topo8(), kernel.MaskAll(8))
-	agentsdk.StartCentralized(e.k, e.enc, e.ac, policies.NewCentralFIFO())
+	agentsdk.Start(e.k, e.enc, e.ac, policies.NewCentralFIFO(), agentsdk.Global())
 	rec := &workload.LatencyRecorder{}
 	pool := workload.NewWorkerPool(e.k, 16, rec, func(name string, body kernel.ThreadFunc) *kernel.Thread {
 		return e.enc.SpawnThread(kernel.SpawnOpts{Name: name}, body)

@@ -31,7 +31,7 @@ func scenario(t *testing.T) ([]byte, *ghost.Metrics) {
 	defer m.Shutdown()
 
 	enc := m.NewEnclave(ghost.MaskOf(1, 2, 3), ghost.WithWatchdog(50*ghost.Millisecond))
-	m.StartGlobalAgent(enc, ghost.NewFIFOPolicy())
+	m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global())
 
 	worker := func(tc *ghost.Task) {
 		for i := 0; i < 40; i++ {

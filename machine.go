@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"ghost/internal/agentsdk"
+	"ghost/internal/check"
 	"ghost/internal/faults"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
@@ -20,6 +21,7 @@ type Machine struct {
 	eng *sim.Engine
 	k   *kernel.Kernel
 	tr  *trace.Tracer
+	inv *check.Checker
 
 	// CFS is the default scheduler; threads spawned with the zero
 	// ThreadOpts.Class run under it.
@@ -38,22 +40,16 @@ type machineConfig struct {
 	noMicroQuanta bool
 	tracer        *trace.Tracer
 	plan          *faults.Plan
+	oracles       []check.Oracle
 }
 
 // MachineOption customizes NewMachine. Options are applied in order;
-// later options win. The deprecated MachineOpts struct also satisfies
-// this interface, so legacy call sites keep compiling.
-type MachineOption interface {
-	applyMachine(*machineConfig)
-}
-
-type machineOptionFunc func(*machineConfig)
-
-func (f machineOptionFunc) applyMachine(c *machineConfig) { f(c) }
+// later options win.
+type MachineOption func(*machineConfig)
 
 // WithCostModel overrides the default (Table 3) cost model.
 func WithCostModel(cm CostModel) MachineOption {
-	return machineOptionFunc(func(c *machineConfig) { c.cost = cm })
+	return func(c *machineConfig) { c.cost = cm }
 }
 
 // WithTrace attaches a full event tracer (see NewTracer): every context
@@ -61,19 +57,19 @@ func WithCostModel(cm CostModel) MachineOption {
 // with Machine.TraceTo. Without this option the machine still keeps
 // aggregate Metrics, but records no events.
 func WithTrace(tr *Tracer) MachineOption {
-	return machineOptionFunc(func(c *machineConfig) { c.tracer = tr })
+	return func(c *machineConfig) { c.tracer = tr }
 }
 
 // WithoutMicroQuanta omits the MicroQuanta class from the stack.
 func WithoutMicroQuanta() MachineOption {
-	return machineOptionFunc(func(c *machineConfig) { c.noMicroQuanta = true })
+	return func(c *machineConfig) { c.noMicroQuanta = true }
 }
 
 // WithoutMetrics disables even aggregate metrics collection, detaching
 // the tracer entirely. This is the true zero-instrumentation baseline
 // used by the overhead benchmarks.
 func WithoutMetrics() MachineOption {
-	return machineOptionFunc(func(c *machineConfig) { c.tracer = nil })
+	return func(c *machineConfig) { c.tracer = nil }
 }
 
 // WithFaults installs a deterministic fault-injection plan (§3.4): a
@@ -82,26 +78,20 @@ func WithoutMetrics() MachineOption {
 // is counted in Metrics.Faults and, under WithTrace, recorded on the
 // "faults" track.
 func WithFaults(p *FaultPlan) MachineOption {
-	return machineOptionFunc(func(c *machineConfig) { c.plan = p })
+	return func(c *machineConfig) { c.plan = p }
 }
 
-// MachineOpts customizes machine construction.
-//
-// Deprecated: pass MachineOptions (WithCostModel, WithoutMicroQuanta,
-// WithTrace) to NewMachine instead. MachineOpts remains accepted by
-// NewMachine for backward compatibility.
-type MachineOpts struct {
-	// Cost overrides the default (Table 3) cost model.
-	Cost *hw.CostModel
-	// NoMicroQuanta omits the MicroQuanta class.
-	NoMicroQuanta bool
-}
-
-func (o MachineOpts) applyMachine(c *machineConfig) {
-	if o.Cost != nil {
-		c.cost = *o.Cost
+// WithInvariants attaches the internal/check invariant checker to the
+// machine: the given oracles observe every protocol event online and
+// record violations, retrievable via Machine.Invariants. With no
+// arguments the full DefaultInvariants set is attached.
+func WithInvariants(oracles ...InvariantOracle) MachineOption {
+	return func(c *machineConfig) {
+		if len(oracles) == 0 {
+			oracles = check.Default()
+		}
+		c.oracles = oracles
 	}
-	c.noMicroQuanta = o.NoMicroQuanta
 }
 
 // NewMachine builds a machine with the full class stack on the given
@@ -114,7 +104,7 @@ func NewMachine(topo *hw.Topology, opts ...MachineOption) *Machine {
 		tracer: trace.NewMetricsOnly(),
 	}
 	for _, o := range opts {
-		o.applyMachine(&cfg)
+		o(&cfg)
 	}
 	eng := sim.NewEngine()
 	k := kernel.New(eng, topo, cfg.cost)
@@ -126,6 +116,9 @@ func NewMachine(topo *hw.Topology, opts ...MachineOption) *Machine {
 	}
 	m.CFS = kernel.NewCFS(k)
 	m.Ghost = ghostcore.NewClass(k, m.CFS)
+	if len(cfg.oracles) > 0 {
+		m.inv = check.Attach(k, m.Ghost, cfg.oracles...)
+	}
 	if cfg.plan != nil {
 		k.SetFaults(faults.NewInjector(eng, cfg.plan))
 	}
@@ -169,8 +162,19 @@ func (m *Machine) Run(d Duration) { m.eng.RunFor(d) }
 // RunUntil advances simulated time to the absolute instant t.
 func (m *Machine) RunUntil(t Time) { m.eng.RunUntil(t) }
 
-// Shutdown unwinds all simulated threads; call when done (defer it).
-func (m *Machine) Shutdown() { m.k.Shutdown() }
+// Shutdown finalizes the invariant checker (if attached) and unwinds
+// all simulated threads; call when done (defer it).
+func (m *Machine) Shutdown() {
+	if m.inv != nil {
+		m.inv.Finish(m.eng.Now())
+	}
+	m.k.Shutdown()
+}
+
+// Invariants returns the invariant checker attached with WithInvariants,
+// nil otherwise. End-of-run oracles only report after Shutdown (or an
+// explicit Checker.Finish).
+func (m *Machine) Invariants() *InvariantChecker { return m.inv }
 
 // AllCPUs returns a mask of every CPU.
 func (m *Machine) AllCPUs() CPUMask { return kernel.MaskAll(m.k.NumCPUs()) }
@@ -232,22 +236,6 @@ func (m *Machine) StartAgents(enc *Enclave, policy any, opts ...AgentOption) *Ag
 	return agentsdk.Start(m.k, enc, m.Agents, policy, opts...)
 }
 
-// StartGlobalAgent runs a centralized policy on the enclave: one global
-// agent on the enclave's first CPU plus inactive handoff agents (§3.3).
-//
-// Deprecated: use StartAgents(enc, p, ghost.Global()).
-func (m *Machine) StartGlobalAgent(enc *Enclave, p GlobalPolicy) *AgentSet {
-	return m.StartAgents(enc, p, Global())
-}
-
-// StartPerCPUAgents runs a per-CPU policy: one agent and message queue
-// per enclave CPU (§3.2).
-//
-// Deprecated: use StartAgents(enc, p, ghost.PerCPU()).
-func (m *Machine) StartPerCPUAgents(enc *Enclave, p PerCPUPolicy) *AgentSet {
-	return m.StartAgents(enc, p, PerCPU())
-}
-
 // ThreadClass selects the scheduling class a thread is spawned under.
 // The zero value is CFS.
 type ThreadClass struct {
@@ -299,33 +287,6 @@ func (m *Machine) Spawn(o ThreadOpts, body ThreadFunc) *Thread {
 		so.Class = m.CFS
 		return m.k.Spawn(so, body)
 	}
-}
-
-// SpawnThread creates a CFS-scheduled native thread.
-//
-// Deprecated: use Spawn (ThreadOpts.Class zero value selects CFS).
-func (m *Machine) SpawnThread(o ThreadOpts, body ThreadFunc) *Thread {
-	o.Class = CFS
-	return m.Spawn(o, body)
-}
-
-// SpawnMicroQuanta creates a thread under the MicroQuanta soft-realtime
-// class (§4.3).
-//
-// Deprecated: use Spawn with ThreadOpts.Class = MicroQuanta.
-func (m *Machine) SpawnMicroQuanta(o ThreadOpts, body ThreadFunc) *Thread {
-	o.Class = MicroQuanta
-	return m.Spawn(o, body)
-}
-
-// SpawnGhostThread creates a thread managed by the enclave's policy. The
-// agent learns of it via THREAD_CREATED.
-//
-// Deprecated: use Machine.Spawn with ThreadOpts.Class = Ghost(enc).
-func SpawnGhostThread(enc *Enclave, o ThreadOpts, body ThreadFunc) *Thread {
-	return enc.SpawnThread(kernel.SpawnOpts{
-		Name: o.Name, Affinity: o.Affinity, Nice: o.Nice, Tag: o.Tag,
-	}, body)
 }
 
 // Wake makes a blocked thread runnable.

@@ -26,6 +26,20 @@ go test ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 
+echo "== ghost-check smoke (property-based invariant scan)"
+go run ./cmd/ghost-check -quick -seeds 25 -parallel 4
+
+echo "== examples (build + quick smoke run)"
+for ex in examples/*/; do
+	name=$(basename "$ex")
+	quick=""
+	case "$name" in
+	search | shinjuku | snap) quick="-quick" ;;
+	esac
+	echo "-- $name"
+	go run "./$ex" $quick >/dev/null
+done
+
 echo "== fig9 smoke (upgrade/crash robustness)"
 go run ./cmd/ghost-bench -exp fig9 -quick
 
