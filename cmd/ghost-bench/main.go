@@ -6,9 +6,13 @@
 //	ghost-bench -list
 //	ghost-bench -exp fig6a
 //	ghost-bench -exp all -quick
+//	ghost-bench -exp fig8-ablation -shards 4
+//	ghost-bench -diff BENCH_old.json BENCH_new.json
 //
 // Each experiment prints an aligned text table with the paper's numbers
-// alongside the measured ones, plus notes on the expected shape.
+// alongside the measured ones, plus notes on the expected shape. The
+// -diff mode compares two scripts/bench.sh recordings and fails on
+// per-benchmark regressions beyond the built-in thresholds.
 package main
 
 import (
@@ -17,18 +21,30 @@ import (
 	"os"
 	"time"
 
+	"ghost/internal/cli"
 	"ghost/internal/experiments"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick    = flag.Bool("quick", false, "shrink durations/sweeps for a fast pass")
-		seed     = flag.Uint64("seed", 1, "experiment random seed")
-		parallel = flag.Int("parallel", 0, "worker pool for independent sweep points (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
-		list     = flag.Bool("list", false, "list available experiments")
+		c    cli.Common
+		exp  = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list = flag.Bool("list", false, "list available experiments")
+		diff = flag.Bool("diff", false, "compare two scripts/bench.sh JSON recordings: ghost-bench -diff old.json new.json")
 	)
+	c.SeedFlag(flag.CommandLine, 1)
+	c.ParallelFlag(flag.CommandLine)
+	c.ShardsFlag(flag.CommandLine)
+	c.QuickFlag(flag.CommandLine, "shrink durations/sweeps for a fast pass")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: ghost-bench -diff old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1)))
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -36,7 +52,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	opts := experiments.Options{Quick: c.Quick, Seed: c.Seed, Parallel: c.Parallel, Shards: c.Shards}
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		rep := e.Run(opts)

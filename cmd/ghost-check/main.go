@@ -8,6 +8,7 @@
 //
 //	ghost-check -seeds 500 -parallel 8     # scan seeds 1..500
 //	ghost-check -quick -seeds 25           # CI smoke configuration
+//	ghost-check -seeds 50 -shards 2        # force sharded event queues
 //	ghost-check -repro "seed=7 policy=shinjuku cpus=4 threads=6 horizon=20.000ms"
 //	ghost-check -seed 42 -mutate skip-tseq # run one seed with a seeded bug
 //
@@ -21,21 +22,24 @@ import (
 	"strings"
 
 	"ghost/internal/check"
+	"ghost/internal/cli"
 	"ghost/internal/experiments"
 	"ghost/internal/sim"
 )
 
 func main() {
 	var (
-		seeds    = flag.Int("seeds", 100, "number of consecutive seeds to scan (starting at -seed)")
-		seed     = flag.Uint64("seed", 1, "first seed")
-		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output order is deterministic")
-		quick    = flag.Bool("quick", false, "halve every scenario horizon (CI smoke mode)")
+		c        cli.Common
 		repro    = flag.String("repro", "", `run one scenario from a repro string, e.g. "seed=7 policy=shinjuku cpus=4 threads=6 horizon=20.000ms"`)
 		mutate   = flag.String("mutate", "", "seed an intentional protocol bug: "+strings.Join(check.MutationNames(), ", "))
 		noShrink = flag.Bool("noshrink", false, "report the first failing scenario without shrinking it")
 		verbose  = flag.Bool("v", false, "print every scenario as it is checked")
 	)
+	c.SeedFlag(flag.CommandLine, 1)
+	c.SeedsFlag(flag.CommandLine, 100, "scenarios")
+	c.ParallelFlag(flag.CommandLine)
+	c.ShardsFlag(flag.CommandLine)
+	c.QuickFlag(flag.CommandLine, "halve every scenario horizon (CI smoke mode)")
 	flag.Parse()
 
 	if *mutate != "" && !contains(check.MutationNames(), *mutate) {
@@ -53,16 +57,22 @@ func main() {
 		if *mutate != "" {
 			s.Mutation = *mutate
 		}
+		if c.Shards > 0 {
+			s.Shards = c.Shards
+		}
 		os.Exit(reportScenario(s.Run()))
 	}
 
-	jobs := make([]experiments.Job, *seeds)
+	jobs := make([]experiments.Job, c.Seeds)
 	for i := range jobs {
-		s := check.Generate(*seed + uint64(i))
-		if *quick {
+		s := check.Generate(c.Seed + uint64(i))
+		if c.Quick {
 			if s.Horizon /= 2; s.Horizon < 5*sim.Millisecond {
 				s.Horizon = 5 * sim.Millisecond
 			}
+		}
+		if c.Shards > 0 {
+			s.Shards = c.Shards
 		}
 		s.Mutation = *mutate
 		jobs[i] = experiments.Job{
@@ -71,7 +81,7 @@ func main() {
 			Run:  func() any { return s.Run() },
 		}
 	}
-	results := experiments.RunJobs(*parallel, jobs)
+	results := experiments.RunJobs(c.Parallel, jobs)
 
 	failures := 0
 	for _, r := range results {
@@ -94,7 +104,7 @@ func main() {
 		fmt.Printf("\nghost-check: %d/%d scenarios violated invariants\n", failures, len(jobs))
 		os.Exit(1)
 	}
-	fmt.Printf("ghost-check: %d scenarios OK (seeds %d..%d)\n", len(jobs), *seed, *seed+uint64(*seeds)-1)
+	fmt.Printf("ghost-check: %d scenarios OK (seeds %d..%d)\n", len(jobs), c.Seed, c.Seed+uint64(c.Seeds)-1)
 }
 
 func contains(xs []string, x string) bool {

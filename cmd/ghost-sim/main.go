@@ -7,6 +7,7 @@
 //	ghost-sim -machine xeon-e5 -sched ghost-shinjuku -rate 200000 -dur 2s
 //	ghost-sim -sched cfs -service 25us -workers 32
 //	ghost-sim -seeds 8 -parallel 4   # seed sensitivity sweep, 4 workers
+//	ghost-sim -shards 4              # sharded event queue, same bytes out
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"ghost"
+	"ghost/internal/cli"
 	"ghost/internal/experiments"
 	"ghost/internal/sim"
 	"ghost/internal/workload"
@@ -34,6 +36,7 @@ type scenario struct {
 	cpus     int
 	dur      time.Duration
 	seed     uint64
+	shards   int
 	traceLog bool
 	traceOut string
 	metrics  bool
@@ -51,9 +54,6 @@ func main() {
 		workers  = flag.Int("workers", 32, "worker pool size")
 		cpus     = flag.Int("cpus", 20, "CPUs for the workers (plus one for the agent)")
 		dur      = flag.Duration("dur", time.Second, "simulated duration")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		seeds    = flag.Int("seeds", 1, "run N consecutive seeds (seed, seed+1, ...) as independent simulations")
-		parallel = flag.Int("parallel", 0, "worker pool for -seeds runs (0 = GOMAXPROCS, 1 = serial); output order is deterministic")
 		traceLog = flag.Bool("tracelog", false, "dump the kernel's text scheduling trace to stdout")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)")
 		metrics  = flag.Bool("metrics", false, "print aggregate scheduling metrics after the run")
@@ -62,7 +62,17 @@ func main() {
 			`"msgdrop@100ms/50ms/0.2,ipidelay@200ms/10ms/30us" (kinds: crash, stall, slow, `+
 			`msgdrop, msgdelay, msgdup, ipidelay, ipiloss, txnfail, upgrade)`)
 	)
+	var c cli.Common
+	c.SeedFlag(flag.CommandLine, 1)
+	c.SeedsFlag(flag.CommandLine, 1, "simulations")
+	c.ParallelFlag(flag.CommandLine)
+	c.ShardsFlag(flag.CommandLine)
+	c.QuickFlag(flag.CommandLine, "cap -dur at 200ms for a fast smoke pass")
 	flag.Parse()
+	seed, seeds, parallel := &c.Seed, &c.Seeds, &c.Parallel
+	if c.Quick && *dur > 200*time.Millisecond {
+		*dur = 200 * time.Millisecond
+	}
 
 	var topo *ghost.Topology
 	switch *machine {
@@ -90,7 +100,7 @@ func main() {
 	sc := scenario{
 		machine: *machine, topo: topo, sched: *sched, rate: *rate,
 		service: *service, bimodal: *bimodal, workers: *workers, cpus: *cpus,
-		dur: *dur, seed: *seed, traceLog: *traceLog, traceOut: *traceOut,
+		dur: *dur, seed: *seed, shards: c.Shards, traceLog: *traceLog, traceOut: *traceOut,
 		metrics: *metrics, faultsIn: *faultsIn, invar: *invar,
 	}
 	if *seeds <= 1 {
@@ -142,6 +152,9 @@ func main() {
 func (sc scenario) run() (string, error) {
 	var b strings.Builder
 	var opts []ghost.MachineOption
+	if sc.shards > 1 {
+		opts = append(opts, ghost.WithShards(sc.shards))
+	}
 	if sc.invar {
 		opts = append(opts, ghost.WithInvariants())
 	}
@@ -200,7 +213,7 @@ func (sc scenario) run() (string, error) {
 	if sc.bimodal {
 		dist = workload.RocksDBService()
 	}
-	workload.NewPoissonSource(m.Kernel().Engine(), sim.NewRand(sc.seed), sc.rate, dist, pool.Submit)
+	workload.NewPoissonSource(m.Kernel().Scheduler(), sim.NewRand(sc.seed), sc.rate, dist, pool.Submit)
 
 	start := time.Now()
 	m.Run(sim.Duration(sc.dur))

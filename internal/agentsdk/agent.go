@@ -103,7 +103,7 @@ func (c *Context) GlobalCPU() hw.CPUID { return c.set.globalCPU }
 // this as their virtual timer. The poke callback is bound once per agent
 // set so each repoll schedules allocation-free.
 func (c *Context) RepollAfter(d sim.Duration) {
-	c.Kernel.Engine().AfterCall(d, pokeActiveFn, c.set)
+	c.Kernel.Scheduler().AfterCall(d, pokeActiveFn, c.set)
 }
 
 // pokeActiveFn dispatches a repoll timer to its agent set.
@@ -232,7 +232,7 @@ func Start(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, poli
 		o(&cfg)
 	}
 	if cfg.plan != nil && k.Faults() == nil {
-		k.SetFaults(faults.NewInjector(k.Engine(), cfg.plan))
+		k.SetFaults(faults.NewInjector(k.Scheduler(), cfg.plan))
 	}
 	gp, isGlobal := policy.(GlobalPolicy)
 	pp, isPerCPU := policy.(PerCPUPolicy)
@@ -254,7 +254,7 @@ func Start(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, poli
 	}
 	set.startOpts = opts
 	if cfg.repoll > 0 {
-		set.repollTicker = sim.NewTicker(k.Engine(), cfg.repoll, func(sim.Time) {
+		set.repollTicker = sim.NewTicker(k.Scheduler(), cfg.repoll, func(sim.Time) {
 			if set.stopped || enc.Destroyed() {
 				return
 			}

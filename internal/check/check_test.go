@@ -54,6 +54,34 @@ func violationStrings(r *Result) []string {
 	return out
 }
 
+// TestShardedScenarioIdentical is the oracle-level gate for event-queue
+// sharding: running a scenario over per-domain sub-engines must yield
+// exactly the single-queue violation list — none on clean scenarios,
+// and the same rendered violations in the same order when a protocol
+// bug is seeded.
+func TestShardedScenarioIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		s := Generate(seed)
+		if !s.ghostPolicy() {
+			continue
+		}
+		if seed%2 == 0 {
+			s.Mutation = MutationNames()[int(seed/2)%len(MutationNames())]
+		}
+		s.Shards = 0
+		base := violationStrings(s.Run())
+		for _, n := range []int{2, 4} {
+			c := s
+			c.Shards = n
+			got := violationStrings(c.Run())
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("seed %d shards=%d: violations differ from single queue:\n  shards=0: %v\n  shards=%d: %v",
+					seed, n, base, n, got)
+			}
+		}
+	}
+}
+
 // TestReproRoundTrip pins Repro/ParseRepro as a lossless pair: parsing a
 // rendered scenario yields the same scenario, and re-rendering yields
 // the same bytes.

@@ -44,6 +44,10 @@ type Scenario struct {
 	// Mutation names an intentionally seeded protocol bug
 	// (skip-tseq | drop-wakeup | double-latch), "" for none.
 	Mutation string
+	// Shards splits the event queue into per-CPU-range domains
+	// (sim.Sharded); 0 or 1 runs the plain single-queue engine. Results
+	// are byte-identical either way — that is the invariant under test.
+	Shards int
 }
 
 // Generate derives a scenario from seed using only sim.Rand, so the same
@@ -57,13 +61,17 @@ func Generate(seed uint64) Scenario {
 		Threads: 2 + r.Intn(15),
 		Horizon: sim.Duration(20+5*r.Intn(5)) * sim.Millisecond,
 	}
-	if !s.ghostPolicy() {
-		return s
+	if s.ghostPolicy() {
+		if r.Intn(2) == 0 {
+			s.Watchdog = 10 * sim.Millisecond
+		}
+		s.FaultSpec = genFaults(r, s.Horizon)
 	}
-	if r.Intn(2) == 0 {
-		s.Watchdog = 10 * sim.Millisecond
+	// Drawn last so introducing sharding left every earlier draw — and
+	// therefore every historical seed's scenario — unchanged.
+	if s.Shards = []int{0, 0, 2, 4}[r.Intn(4)]; s.Shards > s.CPUs {
+		s.Shards = s.CPUs
 	}
-	s.FaultSpec = genFaults(r, s.Horizon)
 	return s
 }
 
@@ -159,12 +167,34 @@ func (s Scenario) Run() *Result {
 	if s.CPUs < 2 {
 		s.CPUs = 2
 	}
-	eng := sim.NewEngine()
 	topo := hw.NewTopology(hw.Config{
 		Name: "check", Sockets: 1, CCXsPerSocket: 1,
 		CoresPerCCX: s.CPUs / 2, SMTWidth: 2,
 	})
-	k := kernel.New(eng, topo, hw.DefaultCostModel())
+	cm := hw.DefaultCostModel()
+	// Sharded scenarios drive the identical program through per-domain
+	// sub-engines; the oracles see the same byte-for-byte history.
+	var (
+		sched  sim.Scheduler
+		runFor func(sim.Duration)
+		now    func() sim.Time
+	)
+	if nd := s.Shards; nd > 1 {
+		if nd > s.CPUs {
+			nd = s.CPUs
+		}
+		shd := sim.NewSharded(1)
+		grp := shd.NewGroup(cm.RemoteCommitTargetCost(1, false), nd)
+		per := (s.CPUs + nd - 1) / nd
+		for cpu := 0; cpu < s.CPUs; cpu++ {
+			grp.MapCPU(cpu, cpu/per)
+		}
+		sched, runFor, now = grp.Root(), shd.RunFor, shd.Now
+	} else {
+		eng := sim.NewEngine()
+		sched, runFor, now = eng, eng.RunFor, eng.Now
+	}
+	k := kernel.New(sched, topo, cm)
 	ac := kernel.NewAgentClass(k)
 	mq := kernel.NewMicroQuanta(k)
 	cfs := kernel.NewCFS(k)
@@ -190,7 +220,7 @@ func (s Scenario) Run() *Result {
 			if err != nil {
 				panic(fmt.Sprintf("check: bad fault spec %q: %v", s.FaultSpec, err))
 			}
-			k.SetFaults(faults.NewInjector(eng, plan))
+			k.SetFaults(faults.NewInjector(sched, plan))
 		}
 		opts := []agentsdk.Option{
 			agentsdk.WithUpgradePolicy(func() any { return s.newPolicy() }),
@@ -224,8 +254,8 @@ func (s Scenario) Run() *Result {
 			noiseBody(r.Fork()))
 	}
 
-	eng.RunFor(s.Horizon)
-	ck.Finish(eng.Now())
+	runFor(s.Horizon)
+	ck.Finish(now())
 	k.Shutdown()
 	return &Result{Scenario: s, Violations: ck.Violations()}
 }
@@ -295,6 +325,9 @@ func (s Scenario) Repro() string {
 	if s.Mutation != "" {
 		parts = append(parts, "mutate="+s.Mutation)
 	}
+	if s.Shards > 1 {
+		parts = append(parts, "shards="+strconv.Itoa(s.Shards))
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -319,6 +352,8 @@ func ParseRepro(spec string) (Scenario, error) {
 			s.CPUs, err = strconv.Atoi(val)
 		case "threads":
 			s.Threads, err = strconv.Atoi(val)
+		case "shards":
+			s.Shards, err = strconv.Atoi(val)
 		case "horizon":
 			s.Horizon, err = parseDur(val)
 		case "watchdog":

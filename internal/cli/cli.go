@@ -1,0 +1,48 @@
+// Package cli centralizes the flag vocabulary shared by the ghost
+// commands (ghost-sim, ghost-bench, ghost-check): one spelling, default,
+// and usage string each for -seed, -seeds, -parallel, -shards, and
+// -quick, so the tools read identically in -help and scripts can move
+// between them without translating flags. Each command registers the
+// subset it supports; the values land in one Common struct.
+package cli
+
+import "flag"
+
+// Common holds the values of the shared flags a command registered.
+type Common struct {
+	Seed     uint64
+	Seeds    int
+	Parallel int
+	Shards   int
+	Quick    bool
+}
+
+// SeedFlag registers -seed: the first (or only) random seed.
+func (c *Common) SeedFlag(fs *flag.FlagSet, def uint64) {
+	fs.Uint64Var(&c.Seed, "seed", def, "first random seed; every run is deterministic in the seed")
+}
+
+// SeedsFlag registers -seeds: how many consecutive seeds to run. The
+// noun names what one seed produces ("simulations", "scenarios").
+func (c *Common) SeedsFlag(fs *flag.FlagSet, def int, noun string) {
+	fs.IntVar(&c.Seeds, "seeds", def,
+		"run N consecutive seeds (seed, seed+1, ...) as independent "+noun)
+}
+
+// ParallelFlag registers -parallel: the worker pool for independent runs.
+func (c *Common) ParallelFlag(fs *flag.FlagSet) {
+	fs.IntVar(&c.Parallel, "parallel", 0,
+		"worker pool for independent runs (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+}
+
+// ShardsFlag registers -shards: per-machine event-queue sharding.
+func (c *Common) ShardsFlag(fs *flag.FlagSet) {
+	fs.IntVar(&c.Shards, "shards", 0,
+		"event-queue shards (domains) per simulated machine (0 or 1 = single queue); results are byte-identical at any count")
+}
+
+// QuickFlag registers -quick. The effect string names what the fast
+// pass shrinks in this command.
+func (c *Common) QuickFlag(fs *flag.FlagSet, effect string) {
+	fs.BoolVar(&c.Quick, "quick", false, effect)
+}

@@ -94,7 +94,7 @@ func (b *bpfQueue) PickNextOnIdle(cpu hw.CPUID) *kernel.Thread {
 
 func bpfRun(withBPF bool, o Options) (p50, p99 sim.Duration, thr float64, commits uint64) {
 	topo := hw.XeonE5()
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	var cpus []hw.CPUID
 	for i := 0; i <= 12; i++ {
@@ -115,7 +115,7 @@ func bpfRun(withBPF bool, o Options) (p50, p99 sim.Duration, thr float64, commit
 	}
 	workload.NewPoissonSource(m.eng, sim.NewRand(o.Seed+3), 200000,
 		workload.Fixed(25*sim.Microsecond), pool.Submit)
-	m.eng.RunFor(dur)
+	m.m.Run(dur)
 	return rec.Hist.P50(), rec.Hist.P99(), rec.Throughput(m.eng.Now()), m.g.BPFCommits
 }
 

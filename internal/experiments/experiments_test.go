@@ -337,11 +337,17 @@ func TestParallelReportsIdentical(t *testing.T) {
 // both serially and with a worker pool. A report that is stable across
 // pool sizes but drifts across runs would point at leaked process
 // state (package-level maps, a shared rand, pooled buffers).
+//
+// It is also the hard gate for event-queue sharding: the report at
+// shard counts 2, 4, and 8 must match the single-queue run byte for
+// byte — conservative windows and mailboxes may never reorder
+// dispatch relative to the n=1 engine.
 func TestFig5CrossRunIdentical(t *testing.T) {
 	e := ByID("fig5")
 	if e == nil {
 		t.Fatal(`experiment "fig5" not registered`)
 	}
+	var baseline string
 	for _, par := range []int{1, 8} {
 		opts := Options{Quick: true, Seed: 1, Parallel: par}
 		first := e.Run(opts).String()
@@ -349,6 +355,16 @@ func TestFig5CrossRunIdentical(t *testing.T) {
 		if first != second {
 			t.Errorf("fig5: back-to-back runs at parallel=%d differ:\n--- first ---\n%s\n--- second ---\n%s",
 				par, first, second)
+		}
+		if baseline == "" {
+			baseline = first
+		}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		opts := Options{Quick: true, Seed: 1, Parallel: 8, Shards: shards}
+		if got := e.Run(opts).String(); got != baseline {
+			t.Errorf("fig5: report at shards=%d differs from single-queue run:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+				shards, baseline, shards, got)
 		}
 	}
 }

@@ -123,7 +123,7 @@ func fig5Sweep(max int, quick bool) []int {
 
 // fig5Point measures committed txns/s for one CPU count.
 func fig5Point(topo *hw.Topology, cpus []hw.CPUID, o Options) float64 {
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	encCPUs := append([]hw.CPUID{0}, cpus...)
 	enc := m.enclaveOn(encCPUs...)
@@ -147,8 +147,8 @@ func fig5Point(topo *hw.Topology, cpus []hw.CPUID, o Options) float64 {
 	if o.Quick {
 		window = 20 * sim.Millisecond
 	}
-	m.eng.RunFor(warm)
+	m.m.Run(warm)
 	base := set.TxnsCommitted
-	m.eng.RunFor(window)
+	m.m.Run(window)
 	return float64(set.TxnsCommitted-base) / window.Seconds()
 }

@@ -61,7 +61,7 @@ func fig6Run(sys fig6System, rate float64, withBatch bool, o Options) fig6Result
 		warm = 100 * sim.Millisecond
 	}
 
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	rec := &workload.LatencyRecorder{WarmupUntil: warm}
 	svc := workload.RocksDBService()
@@ -120,7 +120,7 @@ func fig6Run(sys fig6System, rate float64, withBatch bool, o Options) fig6Result
 		}
 	}
 
-	m.eng.RunFor(dur)
+	m.m.Run(dur)
 	res := fig6Result{
 		p99:        rec.Hist.P99(),
 		throughput: rec.Throughput(m.eng.Now()),

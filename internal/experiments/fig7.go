@@ -79,7 +79,7 @@ func fig7Run(scheduler string, loaded bool, o Options) (*workload.LatencyRecorde
 	}
 
 	useGhost := scheduler == "ghost"
-	m := newMachine(machineOpts{topo: topo, mq: !useGhost})
+	m := newMachine(machineOpts{topo: topo, mq: !useGhost, shards: o.Shards})
 	defer m.k.Shutdown()
 
 	cfg := workload.DefaultSnapConfig()
@@ -127,7 +127,7 @@ func fig7Run(scheduler string, loaded bool, o Options) (*workload.LatencyRecorde
 	}
 	_ = antagonists
 	snap.SetWarmup(warm)
-	m.eng.RunFor(dur)
+	m.m.Run(dur)
 	return &snap.Rec64B, &snap.Rec64K
 }
 

@@ -99,7 +99,7 @@ func fig9Run(mode fig9Mode, o Options) *fig9Result {
 		plan.Crash(crashT)
 	}
 
-	m := newMachine(machineOpts{topo: topo,
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards,
 		extra: []ghost.MachineOption{ghost.WithFaults(plan)}})
 	defer m.k.Shutdown()
 
@@ -195,7 +195,7 @@ func fig9Run(mode fig9Mode, o Options) *fig9Result {
 		}
 	})
 
-	m.eng.RunFor(dur)
+	m.m.Run(dur)
 	fallbackWatch.Stop()
 	res.end = m.eng.Now()
 	if enc.Destroyed() && res.fallbackAt == 0 {

@@ -78,7 +78,7 @@ func runTable3(o Options) *Report {
 // returns (median message delivery latency, local schedule latency).
 func measurePerCPUPath(o Options) (sim.Duration, sim.Duration) {
 	topo := hw.NewTopology(hw.Config{Name: "t3", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 2, SMTWidth: 1})
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	enc := m.enclaveOn(0, 1)
 	set := m.m.StartAgents(enc, policies.NewPerCPUFIFO(), ghost.PerCPU())
@@ -93,7 +93,7 @@ func measurePerCPUPath(o Options) (sim.Duration, sim.Duration) {
 			m.k.Wake(th)
 		}
 	})
-	m.eng.RunFor(25 * sim.Millisecond)
+	m.m.Run(25 * sim.Millisecond)
 	// Local schedule = wake-to-run minus the agent-side message path:
 	// use the commit+switch component, i.e. mean sched delay of the
 	// thread minus delivery. Report the direct commit+switch figure.
@@ -106,7 +106,7 @@ func measurePerCPUPath(o Options) (sim.Duration, sim.Duration) {
 // agent.
 func measureGlobalDelivery(o Options) sim.Duration {
 	topo := hw.NewTopology(hw.Config{Name: "t3g", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 4, SMTWidth: 1})
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	enc := m.enclaveOn(0, 1, 2, 3)
 	set := m.startCentral(enc, policies.NewCentralFIFO())
@@ -121,7 +121,7 @@ func measureGlobalDelivery(o Options) sim.Duration {
 			m.k.Wake(th)
 		}
 	})
-	m.eng.RunFor(25 * sim.Millisecond)
+	m.m.Run(25 * sim.Millisecond)
 	return set.MsgDelivery.P50()
 }
 
@@ -129,7 +129,7 @@ func measureGlobalDelivery(o Options) sim.Duration {
 // context and measures until the last target thread is running.
 func measureRemoteE2E(o Options, n int) sim.Duration {
 	topo := hw.NewTopology(hw.Config{Name: "t3r", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 16, SMTWidth: 1})
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	enc := m.enclaveOn(func() []hw.CPUID {
 		var c []hw.CPUID
@@ -158,7 +158,7 @@ func measureRemoteE2E(o Options, n int) sim.Duration {
 		}
 		enc.TxnsCommit(nil, txns)
 	})
-	m.eng.RunFor(sim.Millisecond)
+	m.m.Run(sim.Millisecond)
 	return lastStart - commitAt
 }
 
@@ -166,7 +166,7 @@ func measureRemoteE2E(o Options, n int) sim.Duration {
 // CPU — by construction the CFS context-switch cost.
 func measureCFSSwitch(o Options) sim.Duration {
 	topo := hw.NewTopology(hw.Config{Name: "t3c", Sockets: 1, CCXsPerSocket: 1, CoresPerCCX: 1, SMTWidth: 1})
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	var total sim.Duration
 	var n int
@@ -179,7 +179,7 @@ func measureCFSSwitch(o Options) sim.Duration {
 			n++
 		}
 	})
-	m.eng.RunFor(5 * sim.Millisecond)
+	m.m.Run(5 * sim.Millisecond)
 	if n == 0 {
 		return 0
 	}

@@ -78,7 +78,7 @@ func table4Run(scheduler string, work sim.Duration, o Options) (sim.Duration, si
 	}
 	mask := kernel.MaskOf(cpus...)
 
-	m := newMachine(machineOpts{topo: topo})
+	m := newMachine(machineOpts{topo: topo, shards: o.Shards})
 	defer m.k.Shutdown()
 	ic := workload.NewIsolationChecker(m.k, 100*sim.Microsecond)
 
@@ -106,7 +106,7 @@ func table4Run(scheduler string, work sim.Duration, o Options) (sim.Duration, si
 			})
 	}
 	deadline := 60 * work
-	m.eng.RunFor(deadline)
+	m.m.Run(deadline)
 	if set.Done == 0 {
 		return deadline, deadline, ic.Violations // did not finish: report the cap
 	}

@@ -121,7 +121,7 @@ func NewCFS(k *Kernel) *CFS {
 		c.rqs[i] = &cfsRq{}
 	}
 	k.AddIdleHook(func(cpu *CPU) { c.idleStart[cpu.ID] = k.Now() })
-	sim.NewTicker(k.Engine(), c.BalancePeriod, func(sim.Time) { c.loadBalance() })
+	sim.NewTicker(k.Scheduler(), c.BalancePeriod, func(sim.Time) { c.loadBalance() })
 	k.RegisterClass(c)
 	return c
 }

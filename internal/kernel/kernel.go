@@ -21,15 +21,16 @@ import (
 
 // Kernel is a simulated kernel instance for one machine.
 type Kernel struct {
-	eng  *sim.Engine
+	eng  sim.Scheduler
 	topo *hw.Topology
 	cost hw.CostModel
 	rand *sim.Rand
 
-	cpus    []*CPU
-	threads map[TID]*Thread
-	live    []*Thread
-	nextTID TID
+	cpus     []*CPU
+	cpuSched []sim.Scheduler // per-CPU event-queue domain; all = eng unsharded
+	threads  map[TID]*Thread
+	live     []*Thread
+	nextTID  TID
 
 	classes []Class // sorted by descending priority
 
@@ -64,7 +65,7 @@ type Kernel struct {
 // New creates a kernel for the given topology and cost model, attached to
 // the engine. Timer ticks are started for every CPU, staggered across the
 // tick period.
-func New(eng *sim.Engine, topo *hw.Topology, cost hw.CostModel) *Kernel {
+func New(eng sim.Scheduler, topo *hw.Topology, cost hw.CostModel) *Kernel {
 	k := &Kernel{
 		eng:     eng,
 		topo:    topo,
@@ -80,23 +81,41 @@ func New(eng *sim.Engine, topo *hw.Topology, cost hw.CostModel) *Kernel {
 	k.wakeFn = k.wakeFire
 	n := topo.NumCPUs()
 	k.cpus = make([]*CPU, n)
+	k.cpuSched = make([]sim.Scheduler, n)
 	k.tickless = make([]bool, n)
+	router, routed := eng.(sim.DomainRouter)
 	for i := 0; i < n; i++ {
 		k.cpus[i] = &CPU{ID: hw.CPUID(i), Info: topo.CPU(hw.CPUID(i)), k: k}
+		if routed {
+			k.cpuSched[i] = router.DomainFor(i)
+		} else {
+			k.cpuSched[i] = eng
+		}
 	}
-	// Staggered per-CPU timer ticks.
+	// Staggered per-CPU timer ticks, each on its CPU's home domain.
 	for i := 0; i < n; i++ {
 		c := k.cpus[i]
+		cs := k.cpuSched[i]
 		offset := cost.TickPeriod * sim.Duration(i) / sim.Duration(n)
-		eng.At(eng.Now()+offset, func() {
-			sim.NewTicker(eng, cost.TickPeriod, func(sim.Time) { k.tick(c) })
+		cs.At(eng.Now()+offset, func() {
+			sim.NewTicker(cs, cost.TickPeriod, func(sim.Time) { k.tick(c) })
 		})
 	}
 	return k
 }
 
-// Engine returns the simulation engine.
-func (k *Kernel) Engine() *sim.Engine { return k.eng }
+// Scheduler returns the kernel's root event scheduler.
+func (k *Kernel) Scheduler() sim.Scheduler { return k.eng }
+
+// SchedulerFor returns the event scheduler owning CPU id's queue — the
+// shard domain the CPU is mapped to when the machine is sharded, the root
+// scheduler otherwise (and for hw.NoCPU).
+func (k *Kernel) SchedulerFor(id hw.CPUID) sim.Scheduler {
+	if int(id) >= 0 && int(id) < len(k.cpuSched) {
+		return k.cpuSched[id]
+	}
+	return k.eng
+}
 
 // SetTracer attaches a structured tracer (nil detaches). The ghOSt core
 // and agent SDK read it back with Tracer, so one tracer observes the
@@ -106,10 +125,12 @@ func (k *Kernel) SetTracer(tr *trace.Tracer) {
 	// The engine meters its own dispatch counts (Engine.Executed,
 	// Engine.MaxQueue); the per-dispatch callback is only worth its cost
 	// when a full event timeline is being recorded.
-	if tr.Enabled() {
-		k.eng.OnDispatch = tr.EngineDispatch
-	} else {
-		k.eng.OnDispatch = nil
+	if obs, ok := k.eng.(sim.DispatchObserver); ok {
+		if tr.Enabled() {
+			obs.SetOnDispatch(tr.EngineDispatch)
+		} else {
+			obs.SetOnDispatch(nil)
+		}
 	}
 }
 
@@ -356,7 +377,7 @@ func (k *Kernel) Resched(id hw.CPUID) {
 		return
 	}
 	c.reschedPending = true
-	k.eng.AfterCall(0, k.reschedFn, c)
+	k.cpuSched[id].AfterCall(0, k.reschedFn, c)
 }
 
 // reschedFire runs the deferred scheduling pass queued by Resched.
@@ -518,7 +539,7 @@ func (k *Kernel) switchTo(c *CPU, next *Thread) {
 }
 
 func (c *CPU) eventAfterSwitch(cost sim.Duration) {
-	c.k.eng.AfterCall(cost, c.k.switchDoneFn, c)
+	c.k.cpuSched[c.ID].AfterCall(cost, c.k.switchDoneFn, c)
 }
 
 // switchDoneFire ends context-switch dead time on a CPU.
@@ -610,7 +631,7 @@ func (k *Kernel) Poke(t *Thread) {
 	t.poked = true
 	if t.state == StateRunning && t.curKind == actSpinIdle && t.cpu != nil {
 		// Defer to an event so pokes inside other handlers coalesce.
-		k.eng.AfterCall(0, k.pokeFn, t)
+		k.cpuSched[t.cpu.ID].AfterCall(0, k.pokeFn, t)
 	}
 }
 

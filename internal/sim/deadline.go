@@ -5,12 +5,12 @@ package sim
 // recovery timeouts — the enclave's upgrade-attach fallback, fault
 // windows — that are armed and disarmed as state changes.
 type Deadline struct {
-	eng *Engine
+	eng Scheduler
 	ev  Event
 }
 
 // NewDeadline returns a disarmed deadline bound to eng.
-func NewDeadline(eng *Engine) *Deadline { return &Deadline{eng: eng} }
+func NewDeadline(eng Scheduler) *Deadline { return &Deadline{eng: eng} }
 
 // Arm schedules fn to run at t, cancelling any pending firing first.
 // The generational Event handle goes stale once the deadline fires, so no

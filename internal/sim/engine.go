@@ -59,7 +59,7 @@ type event struct {
 	at  Time
 	seq uint64 // tie-break for FIFO ordering of same-time events
 	gen uint64 // bumped on every recycle; validates Event handles
-	idx int    // heap index, -1 when not queued
+	idx int    // heap index; -1 when not queued, idxMailbox when parked
 
 	fn  func()
 	afn func(any)
@@ -67,6 +67,12 @@ type event struct {
 
 	eng *Engine
 }
+
+// idxMailbox marks an event parked in its domain's cross-domain mailbox,
+// awaiting release at the next window barrier (see sharded.go). Its seq
+// was reserved at schedule time, so releasing it preserves same-time FIFO
+// order exactly as if it had been heap-inserted immediately.
+const idxMailbox = -2
 
 // Event is a generational handle to a scheduled callback.
 //
@@ -86,17 +92,25 @@ type Event struct {
 // cancelled) is a no-op, even if its storage now backs a newer event.
 func (h Event) Cancel() {
 	ev := h.e
-	if ev == nil || ev.gen != h.gen || ev.idx < 0 {
+	if ev == nil || ev.gen != h.gen || ev.idx == -1 {
 		return
 	}
 	eng := ev.eng
+	if ev.idx == idxMailbox {
+		eng.dom.unmail(ev)
+		return
+	}
 	eng.heapRemove(ev.idx)
+	if eng.dom != nil {
+		eng.dom.g.pend--
+	}
 	eng.recycle(ev)
 }
 
-// Pending reports whether the event is still queued.
+// Pending reports whether the event is still queued (in a heap or parked
+// in a cross-domain mailbox).
 func (h Event) Pending() bool {
-	return h.e != nil && h.e.gen == h.gen && h.e.idx >= 0
+	return h.e != nil && h.e.gen == h.gen && h.e.idx != -1
 }
 
 // Engine is the discrete-event scheduler. The zero value is not usable;
@@ -104,6 +118,9 @@ func (h Event) Pending() bool {
 type Engine struct {
 	now     Time
 	seq     uint64
+	clk     *Time    // clock to read/advance; &e.now standalone, group clock when sharded
+	seqp    *uint64  // sequence counter; &e.seq standalone, group counter when sharded
+	dom     *domain  // owning shard domain, nil standalone
 	queue   []*event // binary min-heap on (at, seq)
 	free    []*event // recycled event storage
 	stopped bool
@@ -113,7 +130,8 @@ type Engine struct {
 
 	// MaxQueue is the high-water mark of the pending-event queue,
 	// sampled at each dispatch. Cancelled events are removed eagerly and
-	// never counted.
+	// never counted. Sub-engines of a sharded group maintain the group's
+	// shared figure instead (Group.MaxQueue); this field stays zero there.
 	MaxQueue int
 
 	// OnDispatch, when non-nil, observes every event dispatch with the
@@ -125,28 +143,38 @@ type Engine struct {
 
 // NewEngine returns an engine with an empty event queue at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.clk = &e.now
+	e.seqp = &e.seq
+	return e
 }
 
 // Now returns the current simulated time.
-func (e *Engine) Now() Time { return e.now }
+func (e *Engine) Now() Time { return *e.clk }
+
+// alloc pops recycled event storage, or grows the pool.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{eng: e, idx: -1}
+}
 
 // schedule queues a pooled event and returns its handle.
 func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) Event {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	if at < *e.clk {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, *e.clk))
 	}
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &event{eng: e, idx: -1}
-	}
-	ev.at, ev.fn, ev.afn, ev.arg, ev.seq = at, fn, afn, arg, e.seq
-	e.seq++
+	ev := e.alloc()
+	ev.at, ev.fn, ev.afn, ev.arg, ev.seq = at, fn, afn, arg, *e.seqp
+	*e.seqp++
 	e.heapPush(ev)
+	if e.dom != nil {
+		e.dom.g.pend++
+	}
 	return Event{e: ev, gen: ev.gen}
 }
 
@@ -169,7 +197,7 @@ func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return e.schedule(e.now+d, nil, nil, nil).bindFn(fn)
+	return e.schedule(*e.clk+d, nil, nil, nil).bindFn(fn)
 }
 
 // bindFn sets the niladic callback on a freshly scheduled event.
@@ -191,7 +219,7 @@ func (e *Engine) AfterCall(d Duration, fn func(any), arg any) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return e.schedule(e.now+d, nil, fn, arg)
+	return e.schedule(*e.clk+d, nil, fn, arg)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -215,16 +243,28 @@ func (e *Engine) step(limit Time) bool {
 		return false
 	}
 	e.heapPopMin()
-	if next.at < e.now {
+	if next.at < *e.clk {
 		panic("sim: event heap returned time in the past")
 	}
-	e.now = next.at
+	*e.clk = next.at
 	e.Executed++
-	if n := len(e.queue); n > e.MaxQueue {
-		e.MaxQueue = n
+	// The queued figure sampled here (and handed to OnDispatch) is the
+	// number of live events still pending after this pop. Sharded, that is
+	// the group-wide count — heaps plus mailboxes — which byte-matches the
+	// single-queue figure because dispatch order and every schedule/cancel
+	// point are identical (see sharded.go).
+	queued := len(e.queue)
+	if d := e.dom; d != nil {
+		d.g.pend--
+		queued = d.g.pend
+		if queued > d.g.maxPend {
+			d.g.maxPend = queued
+		}
+	} else if queued > e.MaxQueue {
+		e.MaxQueue = queued
 	}
 	if e.OnDispatch != nil {
-		e.OnDispatch(e.now, len(e.queue))
+		e.OnDispatch(*e.clk, queued)
 	}
 	// Recycle before dispatch: the callback may immediately schedule a
 	// new event into this storage; outstanding handles to the fired
@@ -252,13 +292,13 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped && e.step(deadline) {
 	}
-	if !e.stopped && e.now < deadline {
-		e.now = deadline
+	if !e.stopped && *e.clk < deadline {
+		*e.clk = deadline
 	}
 }
 
 // RunFor advances the simulation by d nanoseconds.
-func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + d) }
+func (e *Engine) RunFor(d Duration) { e.RunUntil(*e.clk + d) }
 
 // --- event heap ------------------------------------------------------
 //

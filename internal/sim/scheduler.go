@@ -1,0 +1,58 @@
+package sim
+
+// Scheduler is the narrow scheduling interface the rest of the simulator
+// programs against: read the clock, post callbacks, cancel them. Both the
+// single-threaded *Engine and the sharded per-domain Shard handle satisfy
+// it, so kernel/ghostcore/agentsdk/faults code is oblivious to whether it
+// runs on one event queue or a conservatively synchronized shard.
+//
+// Contract: a Scheduler may only be called from the goroutine currently
+// executing its domain's events (or before the simulation starts). Posts
+// into a *different* event-queue group must go through Group.Post.
+type Scheduler interface {
+	// Now returns the current simulated time.
+	Now() Time
+	// At schedules fn at absolute time at; scheduling in the past panics.
+	At(at Time, fn func()) Event
+	// After schedules fn d nanoseconds from now; negative d panics.
+	After(d Duration, fn func()) Event
+	// AtCall schedules fn(arg) at absolute time at. With fn bound once
+	// and reused (a stored method value) this path allocates nothing.
+	AtCall(at Time, fn func(any), arg any) Event
+	// AfterCall schedules fn(arg) d nanoseconds from now. See AtCall.
+	AfterCall(d Duration, fn func(any), arg any) Event
+	// Cancel is Event.Cancel as a method, for symmetry; stale handles are
+	// safe no-ops.
+	Cancel(h Event)
+}
+
+// DispatchObserver is optionally implemented by Schedulers that can meter
+// event dispatch (the tracing subsystem feeds on it). For a sharded
+// scheduler the hook is installed group-wide; the queued count it reports
+// is the group-wide pending-event total, so the metered figures are
+// byte-identical to a single-queue run.
+type DispatchObserver interface {
+	SetOnDispatch(fn func(now Time, queued int))
+}
+
+// DomainRouter is optionally implemented by Schedulers that shard work
+// across per-CPU-group domains: DomainFor returns the Scheduler owning the
+// given CPU's event queue. The kernel uses it to keep CPU-local timers
+// (ticks, completions, wakeups) on their home domain.
+type DomainRouter interface {
+	DomainFor(cpu int) Scheduler
+}
+
+// Cancel cancels h (Scheduler conformance; equivalent to h.Cancel).
+func (e *Engine) Cancel(h Event) { h.Cancel() }
+
+// SetOnDispatch installs the dispatch hook (DispatchObserver conformance).
+func (e *Engine) SetOnDispatch(fn func(now Time, queued int)) { e.OnDispatch = fn }
+
+var (
+	_ Scheduler        = (*Engine)(nil)
+	_ DispatchObserver = (*Engine)(nil)
+	_ Scheduler        = (*Shard)(nil)
+	_ DispatchObserver = (*Shard)(nil)
+	_ DomainRouter     = (*Shard)(nil)
+)

@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded simulation: the event queue is split into per-domain sub-engines
+// that synchronize via conservative time windows (gem5-style multi-event-
+// queue with lookahead barriers).
+//
+// Two levels of partitioning, matching two levels of physical decoupling:
+//
+//   - A Group is one simulated machine whose CPUs are partitioned into
+//     domains, each with its own Engine (heap + free list) but a shared
+//     clock and sequence counter. Cross-domain interactions (IPIs, remote
+//     transaction installs) cannot take effect sooner than the cost
+//     model's minimum cross-CPU latency, so that latency is the group's
+//     lookahead: events posted from a dispatching domain into another
+//     domain at or beyond the current window's end are parked in the
+//     target's mailbox and released at the window barrier. Posts landing
+//     inside the window are heap-inserted directly — with the merged
+//     dispatch loop below that is exact, not an approximation.
+//
+//   - Separate Groups share nothing but the global clock; their only
+//     coupling is the coordinator barrier, so each group runs its whole
+//     window on its own goroutine. This is where sharding buys wall-time:
+//     state-disjoint machines (a cluster sweep, an ablation's variants)
+//     simulate concurrently yet bit-identically, because no information
+//     flows between them except via the explicitly serialized Group.Post.
+//
+// Determinism argument (the hard gate): within a group, the dispatch loop
+// always fires the globally least (at, seq) event across all domain heaps,
+// which is exactly the single-engine order; schedule calls therefore occur
+// in the same order and draw the same seq values as at n=1. A mailboxed
+// event reserves its seq at schedule time and is flushed before the clock
+// can reach its time (its at is >= the posting window's end, and flush
+// precedes the next window), so parking is invisible to ordering. Across
+// groups, results are independent of worker count because groups share no
+// state and cross-group posts are applied serially at barriers in group-id
+// order. Hence reports are byte-identical at any shard/worker count.
+type Sharded struct {
+	now     Time
+	workers int
+	groups  []*Group
+
+	// CrossWindow bounds how far groups may run between coordinator
+	// barriers when cross-group posts are in play. Zero (the default)
+	// means groups run each RunUntil deadline in a single window, which
+	// is exact while no Group.Post traffic exists mid-run.
+	CrossWindow Duration
+}
+
+// NewSharded returns a coordinator executing group windows on up to
+// workers goroutines (1 = serial, in group-id order).
+func NewSharded(workers int) *Sharded {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Sharded{workers: workers}
+}
+
+// Now returns the coordinator's barrier time.
+func (s *Sharded) Now() Time { return s.now }
+
+// Workers returns the worker budget.
+func (s *Sharded) Workers() int { return s.workers }
+
+// NewGroup adds a group of n conservatively synchronized domains with the
+// given lookahead (the minimum simulated latency of any cross-domain
+// interaction; typically CostModel.RemoteCommitTargetCost(1, false)).
+func (s *Sharded) NewGroup(lookahead Duration, n int) *Group {
+	if lookahead <= 0 {
+		panic("sim: group lookahead must be positive")
+	}
+	if n < 1 {
+		n = 1
+	}
+	g := &Group{shd: s, id: len(s.groups), look: lookahead, now: s.now, cur: -1}
+	for i := 0; i < n; i++ {
+		d := &domain{g: g, id: i, eng: NewEngine()}
+		d.eng.clk = &g.now
+		d.eng.seqp = &g.seq
+		d.eng.dom = d
+		d.sh = &Shard{g: g, d: d}
+		g.domains = append(g.domains, d)
+	}
+	s.groups = append(s.groups, g)
+	return g
+}
+
+// RunFor advances all groups by d.
+func (s *Sharded) RunFor(d Duration) { s.RunUntil(s.now + d) }
+
+// RunUntil advances all groups to the absolute instant deadline, running
+// their windows concurrently on the worker pool and flushing cross-group
+// mail at each coordinator barrier.
+func (s *Sharded) RunUntil(deadline Time) {
+	for {
+		step := deadline
+		if s.CrossWindow > 0 && s.now+s.CrossWindow < deadline {
+			step = s.now + s.CrossWindow
+		}
+		s.runGroups(step)
+		s.now = step
+		s.flushCross()
+		if step >= deadline {
+			return
+		}
+	}
+}
+
+// runGroups runs every group's events up to until. Groups are state-
+// disjoint, so results do not depend on the worker count; the WaitGroup
+// barrier provides the happens-before edge between a group's executor
+// goroutines across successive windows.
+func (s *Sharded) runGroups(until Time) {
+	if s.workers <= 1 || len(s.groups) <= 1 {
+		for _, g := range s.groups {
+			g.run(until)
+		}
+		return
+	}
+	sem := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	wg.Add(len(s.groups))
+	for _, g := range s.groups {
+		sem <- struct{}{}
+		go func(g *Group) {
+			defer wg.Done()
+			g.run(until)
+			<-sem
+		}(g)
+	}
+	wg.Wait()
+}
+
+// flushCross applies cross-group mail, serially, in group-id order.
+func (s *Sharded) flushCross() {
+	for _, g := range s.groups {
+		g.mu.Lock()
+		posts := g.xmail
+		g.xmail = nil
+		g.mu.Unlock()
+		for _, x := range posts {
+			if x.at < s.now {
+				panic(fmt.Sprintf("sim: cross-group post at %v is before barrier %v; raise CrossWindow conservatively below the true cross-group latency", x.at, s.now))
+			}
+			g.domains[0].eng.schedule(x.at, x.fn, nil, nil)
+		}
+	}
+}
+
+// xpost is a pending cross-group post.
+type xpost struct {
+	at Time
+	fn func()
+}
+
+// Group is one set of conservatively synchronized event-queue domains —
+// in ghost terms, one simulated machine.
+type Group struct {
+	shd  *Sharded
+	id   int
+	look Duration // intra-group lookahead (min cross-domain latency)
+	now  Time     // shared clock for all domain sub-engines
+	seq  uint64   // shared sequence counter (global FIFO tie-break)
+
+	domains []*domain
+	cpuDom  []int // cpu -> domain index (Shard.DomainFor)
+
+	cur       int  // dispatching domain id, -1 outside dispatch
+	windowEnd Time // exclusive end of the current window
+
+	// Group-wide live-event accounting, maintained by the sub-engines at
+	// the same points a standalone engine's queue length changes (schedule,
+	// mailbox park, cancel, dispatch pop). Within a group all domains run
+	// on one goroutine, so no synchronization is needed.
+	pend    int // pending events across all domain heaps and mailboxes
+	maxPend int // high-water of pend, sampled at each dispatch
+
+	// Window/traffic counters, for tests and diagnostics.
+	Windows   uint64 // synchronization windows executed
+	Mailboxed uint64 // cross-domain posts parked until a window barrier
+	Fastpath  uint64 // cross-domain posts heap-inserted inside the window
+
+	mu    sync.Mutex
+	xmail []xpost
+}
+
+// domain is one shard of a group: a sub-engine plus its mailbox.
+type domain struct {
+	g    *Group
+	id   int
+	eng  *Engine
+	mbox []*event // parked cross-domain events, released at window barriers
+	sh   *Shard
+}
+
+// unmail cancels a mailboxed event (Event.Cancel with idx == idxMailbox).
+func (d *domain) unmail(ev *event) {
+	for i, e2 := range d.mbox {
+		if e2 == ev {
+			d.mbox = append(d.mbox[:i], d.mbox[i+1:]...)
+			break
+		}
+	}
+	d.g.pend--
+	ev.idx = -1
+	ev.eng.recycle(ev)
+}
+
+// Domains returns the number of domains in the group.
+func (g *Group) Domains() int { return len(g.domains) }
+
+// Domain returns domain i's Scheduler handle. Domain 0 is the root: it
+// owns machine-global timers and cross-group mail.
+func (g *Group) Domain(i int) *Shard { return g.domains[i].sh }
+
+// Root returns domain 0's Scheduler handle.
+func (g *Group) Root() *Shard { return g.domains[0].sh }
+
+// MapCPU routes cpu's CPU-local events to domain dom (see DomainFor).
+func (g *Group) MapCPU(cpu, dom int) {
+	if dom < 0 || dom >= len(g.domains) {
+		panic(fmt.Sprintf("sim: MapCPU to nonexistent domain %d", dom))
+	}
+	for len(g.cpuDom) <= cpu {
+		g.cpuDom = append(g.cpuDom, 0)
+	}
+	g.cpuDom[cpu] = dom
+}
+
+// Post schedules fn at absolute time at from outside the group — the one
+// Scheduler-shaped operation that is safe to call from another group's
+// goroutine. It is parked under a lock and applied (into the root domain,
+// drawing its seq then) at the next coordinator barrier, which panics if
+// at has already passed — the caller must post at least the coordinator's
+// CrossWindow into the future.
+func (g *Group) Post(at Time, fn func()) {
+	g.mu.Lock()
+	g.xmail = append(g.xmail, xpost{at: at, fn: fn})
+	g.mu.Unlock()
+}
+
+// Executed sums fired events across the group's domains.
+func (g *Group) Executed() uint64 {
+	var n uint64
+	for _, d := range g.domains {
+		n += d.eng.Executed
+	}
+	return n
+}
+
+// MaxQueue returns the high-water mark of the group-wide pending-event
+// count (domain heaps plus mailboxes), sampled at each dispatch. Dispatch
+// order and every schedule/cancel point match the single-engine run
+// exactly, so this equals Engine.MaxQueue at shards=1 byte-for-byte.
+func (g *Group) MaxQueue() int { return g.maxPend }
+
+// minAt returns the earliest pending event time across the domain heaps.
+func (g *Group) minAt() (Time, bool) {
+	var min Time
+	ok := false
+	for _, d := range g.domains {
+		if len(d.eng.queue) > 0 {
+			if at := d.eng.queue[0].at; !ok || at < min {
+				min, ok = at, true
+			}
+		}
+	}
+	return min, ok
+}
+
+// flush releases every domain's mailbox into its heap. The parked events
+// kept their schedule-time seq, so heap order is as if they were inserted
+// immediately.
+func (g *Group) flush() {
+	for _, d := range g.domains {
+		if len(d.mbox) == 0 {
+			continue
+		}
+		for i, ev := range d.mbox {
+			ev.idx = -1
+			d.eng.heapPush(ev)
+			d.mbox[i] = nil
+		}
+		d.mbox = d.mbox[:0]
+	}
+}
+
+// run executes all group events with at <= until (which must be < MaxTime)
+// and advances the group clock to until. Windows are event-driven: each
+// starts at the next pending event and spans the lookahead, so idle gaps
+// cost nothing.
+func (g *Group) run(until Time) {
+	g.flush()
+	if len(g.domains) == 1 {
+		// Single domain: no cross-domain traffic is possible, run the
+		// sub-engine flat out with no window bookkeeping.
+		d := g.domains[0]
+		for d.eng.step(until) {
+		}
+		if g.now < until {
+			g.now = until
+		}
+		return
+	}
+	for {
+		next, ok := g.minAt()
+		if !ok || next > until {
+			break
+		}
+		wEnd := next + g.look
+		if wEnd > until || wEnd < next { // second test: overflow guard
+			wEnd = until + 1
+		}
+		g.windowEnd = wEnd
+		g.Windows++
+		g.mergedStep(wEnd - 1)
+		g.windowEnd = 0
+		g.flush()
+	}
+	if g.now < until {
+		g.now = until
+	}
+}
+
+// mergedStep dispatches events with at <= limit in global (at, seq) order
+// across the domain heaps — the exact single-engine order. The O(domains)
+// scan per event is the price of exactness; the win from sharding one
+// machine is the mailbox decoupling (and, across groups, real
+// parallelism), not this loop.
+func (g *Group) mergedStep(limit Time) {
+	for {
+		var bd *domain
+		for _, d := range g.domains {
+			if len(d.eng.queue) > 0 && (bd == nil || eventLess(d.eng.queue[0], bd.eng.queue[0])) {
+				bd = d
+			}
+		}
+		if bd == nil || bd.eng.queue[0].at > limit {
+			break
+		}
+		g.cur = bd.id
+		bd.eng.step(limit)
+	}
+	g.cur = -1
+}
+
+// Shard is one domain's Scheduler handle. Same-domain posts (and any post
+// landing inside the current window) go straight into the domain heap;
+// cross-domain posts at or past the window edge are parked in the target
+// domain's mailbox and released at the barrier.
+type Shard struct {
+	g *Group
+	d *domain
+}
+
+// Now returns the group's shared clock.
+func (sh *Shard) Now() Time { return sh.g.now }
+
+func (sh *Shard) schedule(at Time, fn func(), afn func(any), arg any) Event {
+	g, d := sh.g, sh.d
+	if g.cur < 0 || g.cur == d.id || at < g.windowEnd {
+		if g.cur >= 0 && g.cur != d.id {
+			g.Fastpath++
+		}
+		return d.eng.schedule(at, fn, afn, arg)
+	}
+	// Cross-domain post at/after the window edge: park it with its seq
+	// reserved now, so the barrier release preserves FIFO order.
+	if at < g.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, g.now))
+	}
+	g.Mailboxed++
+	g.pend++ // parked events count as pending, like their heap siblings
+	ev := d.eng.alloc()
+	ev.at, ev.fn, ev.afn, ev.arg, ev.seq = at, fn, afn, arg, g.seq
+	g.seq++
+	ev.idx = idxMailbox
+	d.mbox = append(d.mbox, ev)
+	return Event{e: ev, gen: ev.gen}
+}
+
+// At schedules fn at absolute time at; scheduling in the past panics.
+func (sh *Shard) At(at Time, fn func()) Event {
+	return sh.schedule(at, fn, nil, nil)
+}
+
+// After schedules fn d nanoseconds from now.
+func (sh *Shard) After(d Duration, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return sh.schedule(sh.g.now+d, fn, nil, nil)
+}
+
+// AtCall schedules fn(arg) at absolute time at (allocation-free path).
+func (sh *Shard) AtCall(at Time, fn func(any), arg any) Event {
+	return sh.schedule(at, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) d nanoseconds from now.
+func (sh *Shard) AfterCall(d Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return sh.schedule(sh.g.now+d, nil, fn, arg)
+}
+
+// Cancel cancels h (Scheduler conformance).
+func (sh *Shard) Cancel(h Event) { h.Cancel() }
+
+// DomainFor returns the Scheduler owning cpu's event queue (the root
+// domain for unmapped CPUs, so a partially mapped group stays correct).
+func (sh *Shard) DomainFor(cpu int) Scheduler {
+	g := sh.g
+	if cpu >= 0 && cpu < len(g.cpuDom) {
+		return g.domains[g.cpuDom[cpu]].sh
+	}
+	return g.domains[0].sh
+}
+
+// SetOnDispatch installs the dispatch hook on every domain sub-engine.
+// The queued count the hook sees is the group-wide pending-event count
+// (heaps plus mailboxes), byte-identical to the single-engine figure.
+func (sh *Shard) SetOnDispatch(fn func(now Time, queued int)) {
+	for _, d := range sh.g.domains {
+		d.eng.OnDispatch = fn
+	}
+}
+
+// Group returns the shard's group (for tests and facade wiring).
+func (sh *Shard) Group() *Group { return sh.g }

@@ -3,7 +3,7 @@ package sim
 // Ticker invokes a callback at a fixed period of simulated time. It is the
 // building block for kernel timer ticks and statistics samplers.
 type Ticker struct {
-	engine  *Engine
+	engine  Scheduler
 	period  Duration
 	fn      func(Time)
 	ev      Event
@@ -25,7 +25,7 @@ func tickerFire(a any) {
 
 // NewTicker starts a ticker whose first fire is one period from now.
 // The callback receives the fire time.
-func NewTicker(e *Engine, period Duration, fn func(Time)) *Ticker {
+func NewTicker(e Scheduler, period Duration, fn func(Time)) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}

@@ -17,7 +17,7 @@ import (
 // (~5% with the default 64 buckets per decade) across nine decades,
 // 1 ns .. 1000 s. The zero value is ready to use.
 type Histogram struct {
-	counts []uint64
+	counts [histBuckets]uint64
 	total  uint64
 	sum    float64
 	min    sim.Duration
@@ -55,10 +55,10 @@ func bucketLow(b int) sim.Duration {
 	return sim.Duration(math.Pow(10, float64(b-1)/bucketsPerDecade))
 }
 
-// Record adds one observation.
+// Record adds one observation. The bucket array is part of the struct
+// (~6 KB), so recording into a zero-value histogram allocates nothing.
 func (h *Histogram) Record(d sim.Duration) {
-	if h.counts == nil {
-		h.counts = make([]uint64, histBuckets)
+	if h.total == 0 {
 		h.min = math.MaxInt64
 		h.memoVal = -1
 	}
@@ -116,7 +116,7 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 		rank = h.total - 1
 	}
 	var seen uint64
-	for b, c := range h.counts {
+	for b, c := range h.counts[:] {
 		seen += c
 		if seen > rank {
 			// Midpoint of bucket, clamped to observed range.
@@ -148,11 +148,11 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.total == 0 {
 		return
 	}
-	if h.counts == nil {
-		h.counts = make([]uint64, histBuckets)
+	if h.total == 0 {
 		h.min = math.MaxInt64
+		h.memoVal = -1
 	}
-	for i, c := range other.counts {
+	for i, c := range other.counts[:] {
 		h.counts[i] += c
 	}
 	h.total += other.total
@@ -167,9 +167,7 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // Reset discards all observations.
 func (h *Histogram) Reset() {
-	for i := range h.counts {
-		h.counts[i] = 0
-	}
+	h.counts = [histBuckets]uint64{}
 	h.total = 0
 	h.sum = 0
 	h.min = math.MaxInt64

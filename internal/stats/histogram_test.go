@@ -241,3 +241,20 @@ func BenchmarkHistogramQuantile(b *testing.B) {
 		h.Quantile(0.99)
 	}
 }
+
+// TestHistogramRecordAllocFree pins the last allocating hot path: the
+// bucket array lives in the struct, so recording — including the very
+// first observation into a zero-value histogram — must not allocate.
+func TestHistogramRecordAllocFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		h.Record(1500)
+		h.Record(3 * sim.Microsecond)
+	}); n != 0 {
+		t.Fatalf("Record allocates %.1f per run, want 0", n)
+	}
+	var fresh Histogram
+	if n := testing.AllocsPerRun(1, func() { fresh.Record(1) }); n != 0 {
+		t.Fatalf("first Record into zero value allocates %.1f, want 0", n)
+	}
+}

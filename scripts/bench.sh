@@ -9,12 +9,13 @@
 #   -quick  smoke mode for CI: only the engine hot-path and full-sweep
 #           benchmarks, output to /tmp unless an explicit path is given.
 #
-# The default output (BENCH_pr3.json) is the recorded artifact for the
-# runner/engine optimization PR; regenerate it on a quiet machine.
+# The default output (BENCH_pr6.json) is the recorded artifact for the
+# sharded-simulation PR; regenerate it on a quiet machine. Compare
+# recordings with `ghost-bench -diff old.json new.json`.
 set -e
 
 PATTERN='.'
-OUT=BENCH_pr3.json
+OUT=BENCH_pr6.json
 if [ "$1" = "-quick" ]; then
 	shift
 	PATTERN='BenchmarkEngineSchedule|BenchmarkFullSweep'
@@ -26,7 +27,9 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 START=$(date +%s)
-go test -run '^$' -bench "$PATTERN" -benchtime 1x ./... | tee "$RAW"
+# -timeout 0: the full-size figure benchmarks exceed go test's default
+# 10-minute per-package budget.
+go test -run '^$' -bench "$PATTERN" -benchtime 1x -timeout 0 ./... | tee "$RAW"
 END=$(date +%s)
 
 awk -v wall=$((END - START)) -v cpus=$(nproc) '

@@ -29,6 +29,9 @@ go test -race -short ./...
 echo "== ghost-check smoke (property-based invariant scan)"
 go run ./cmd/ghost-check -quick -seeds 25 -parallel 4
 
+echo "== ghost-check sharded smoke (same invariants over sharded event queues)"
+go run ./cmd/ghost-check -quick -seeds 10 -parallel 4 -shards 2
+
 echo "== examples (build + quick smoke run)"
 for ex in examples/*/; do
 	name=$(basename "$ex")
@@ -45,5 +48,8 @@ go run ./cmd/ghost-bench -exp fig9 -quick
 
 echo "== bench smoke (engine hot path + parallel sweep)"
 sh scripts/bench.sh -quick
+
+echo "== bench regression diff (vs recorded artifact)"
+go run ./cmd/ghost-bench -diff BENCH_pr3.json /tmp/bench_quick.json
 
 echo "verify: all checks passed"
