@@ -1,0 +1,135 @@
+package ghost_test
+
+// The golden API-surface test freezes the exported signatures of the two
+// facade packages (ghost and ghost/env). Any change to what external
+// controllers can see — a new export, a renamed parameter type, a leaked
+// internal spelling — shows up as a golden diff that must be reviewed and
+// re-recorded deliberately with -update. Together with the apisurface
+// lint check this makes the public surface a versioned artifact rather
+// than an accident of whatever compiles.
+
+import (
+	"flag"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"ghost/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current source")
+
+// qualifyFull spells every package by its full import path so the golden
+// is unambiguous about which types are facade-local and which resolve to
+// internal packages through aliases.
+func qualifyFull(p *types.Package) string { return p.Path() }
+
+// surfaceLines renders one package's exported scope: one line per
+// exported object, plus one line per exported method on an exported
+// defined type. Lines are sorted, so the dump is independent of source
+// order and map iteration.
+func surfaceLines(pkg *types.Package) []string {
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		lines = append(lines, types.ObjectString(obj, qualifyFull))
+		tn, ok := obj.(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if !m.Exported() {
+				continue
+			}
+			lines = append(lines, types.ObjectString(m, qualifyFull))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestAPISurfaceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks both facade packages from source")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.NewLoader(root).Load(".", "./env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, p := range pkgs {
+		for _, e := range p.Errs {
+			t.Errorf("%s: load error: %v", p.ImportPath, e)
+		}
+		if p.Types == nil {
+			t.Fatalf("%s: no type information", p.ImportPath)
+		}
+		fmt.Fprintf(&b, "package %s\n", p.ImportPath)
+		for _, line := range surfaceLines(p.Types) {
+			fmt.Fprintf(&b, "\t%s\n", line)
+		}
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", golden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test -run TestAPISurfaceGolden -update ./`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface drifted from %s;\nif the change is intentional re-record with -update.\n%s",
+			golden, surfaceDiff(string(want), got))
+	}
+}
+
+// surfaceDiff renders a line-level diff (added/removed lines only) —
+// enough to see which signatures moved without a full diff engine.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return b.String()
+}

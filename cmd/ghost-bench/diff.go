@@ -54,14 +54,17 @@ func loadBench(path string) (*benchFile, error) {
 
 // Regression thresholds. One benchtime=1x sample per side is noisy, so
 // a regression must clear both a generous ratio and an absolute floor.
-// The floor is deliberately high: a sub-100µs benchmark at -benchtime
-// 1x measures a single cold invocation, where timer granularity and
-// cold caches swamp the op cost — micro hot paths are guarded by the
+// The floor is deliberately high: single-invocation noise is
+// multiplicative, not additive — the same binary on the same idle host
+// was observed swinging 3.7–6.7ms across runs of a ~4ms benchmark — so
+// ns/op only gates the second-scale figure sweeps, where one sample is
+// representative and a 1.6x growth dwarfs the floor. Millisecond-scale
+// probes are guarded by their deterministic reported metrics and the
 // exact allocs/op gate instead (an alloc-free path that starts
 // allocating always fails).
 const (
-	nsRatio    = 1.60    // ns/op may grow up to 60%...
-	nsFloorNS  = 100_000 // ...but absolute drift under 100µs never fails
+	nsRatio    = 1.60       // ns/op may grow up to 60%...
+	nsFloorNS  = 10_000_000 // ...but absolute drift under 10ms never fails
 	allocRatio = 1.50
 	allocFloor = 64
 )

@@ -7,6 +7,8 @@
 //	maporder     — no map-iteration order escaping into schedules/reports
 //	hotpathalloc — no per-call closures at AtCall/AfterCall/Schedule sites
 //	eventhandle  — sim.Event handles held by value, never compared with ==
+//	apisurface   — facade packages (ghost, env) never spell internal/* types
+//	               in exported signatures (aliases/re-exports are exempt)
 //
 // Usage:
 //

@@ -1,0 +1,50 @@
+package env
+
+import "ghost"
+
+// Op enumerates the action kinds a controller can apply at a Step.
+type Op int
+
+// Action kinds.
+const (
+	// OpDispatch commits one thread to one CPU via a scheduling
+	// transaction at the next agent step.
+	OpDispatch Op = iota + 1
+	// OpPreempt kicks whatever runs on a CPU back to the run queue.
+	OpPreempt
+	// OpSetQuantum changes the simulated time advanced per Step.
+	OpSetQuantum
+	// OpSetBand reclassifies a thread's priority band (0 = highest),
+	// which orders AutoDispatch and is echoed in ThreadObs.Band.
+	OpSetBand
+)
+
+// Action is one control decision. Use the constructors below; unknown
+// or inapplicable actions are ignored.
+type Action struct {
+	Op      Op
+	TID     int            // OpDispatch, OpSetBand
+	CPU     int            // OpDispatch (-1 = lowest idle), OpPreempt
+	Band    int            // OpSetBand
+	Quantum ghost.Duration // OpSetQuantum
+}
+
+// DispatchAction schedules thread tid onto cpu (-1 picks the lowest
+// idle worker CPU at commit time). A dispatch to a CPU that is busy or
+// has an install in flight is dropped (the thread stays queued) —
+// preempt the CPU in the same Step to replace its tenant. The commit
+// itself happens inside the simulation and may fail like any scheduling
+// transaction — e.g. the thread blocked first — which shows up in
+// Observation.FailedTxns, not as an error.
+func DispatchAction(tid, cpu int) Action { return Action{Op: OpDispatch, TID: tid, CPU: cpu} }
+
+// PreemptAction forces the thread running on cpu (if any) off it; the
+// kernel's THREAD_PREEMPTED message returns the thread to the run
+// queue.
+func PreemptAction(cpu int) Action { return Action{Op: OpPreempt, CPU: cpu} }
+
+// SetQuantumAction changes the decision quantum for subsequent Steps.
+func SetQuantumAction(d ghost.Duration) Action { return Action{Op: OpSetQuantum, Quantum: d} }
+
+// SetBandAction assigns thread tid to priority band (0 = highest).
+func SetBandAction(tid, band int) Action { return Action{Op: OpSetBand, TID: tid, Band: band} }

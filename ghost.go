@@ -32,6 +32,7 @@ import (
 	"ghost/internal/sim"
 	"ghost/internal/stats"
 	"ghost/internal/trace"
+	"ghost/internal/tunable"
 )
 
 // Re-exported simulated-time types and units.
@@ -62,6 +63,9 @@ type (
 	CostModel = hw.CostModel
 )
 
+// NoCPU is the CPUID sentinel for "no CPU".
+const NoCPU = hw.NoCPU
+
 // Machine presets from the paper's evaluation.
 var (
 	// Skylake is the 2-socket, 112-CPU Xeon of §4.1/§4.3/§4.5.
@@ -80,6 +84,9 @@ var (
 
 // Kernel-side types.
 type (
+	// Kernel is the simulated kernel under a Machine (scheduling
+	// classes, CPUs, threads); reach it via Machine.Kernel.
+	Kernel = kernel.Kernel
 	// Thread is a simulated native thread.
 	Thread = kernel.Thread
 	// Task is the context a thread body uses to run/block/yield.
@@ -90,6 +97,25 @@ type (
 	CPUMask = kernel.Mask
 	// TID identifies a thread.
 	TID = kernel.TID
+	// ThreadState enumerates a thread's lifecycle states.
+	ThreadState = kernel.State
+	// CFSClass is the default (completely fair) scheduling class.
+	CFSClass = kernel.CFS
+	// MicroQuantaClass is the soft real-time class of §4.3.
+	MicroQuantaClass = kernel.MicroQuanta
+	// AgentRunnerClass is the top-priority class agents run under.
+	AgentRunnerClass = kernel.AgentClass
+	// GhostClass is the ghOSt scheduling class itself.
+	GhostClass = ghostcore.Class
+)
+
+// Thread lifecycle states (Thread.State).
+const (
+	ThreadNew      = kernel.StateNew
+	ThreadRunnable = kernel.StateRunnable
+	ThreadRunning  = kernel.StateRunning
+	ThreadBlocked  = kernel.StateBlocked
+	ThreadDead     = kernel.StateDead
 )
 
 // MaskOf builds a CPU mask from ids; MaskAll covers CPUs 0..n-1.
@@ -184,6 +210,29 @@ type (
 
 // Histogram records latency distributions.
 type Histogram = stats.Histogram
+
+// Rand is the seeded deterministic generator every stochastic choice in
+// a simulation draws from; never mix in math/rand.
+type Rand = sim.Rand
+
+// NewRand returns a generator for the given seed.
+var NewRand = sim.NewRand
+
+// Policy auto-tuning (see cmd/ghost-tune and internal/tune): policies
+// declare their numeric knobs as a TunableSet; the tuner samples the
+// declared ranges and applies values through it.
+type (
+	// Tunable declares one numeric knob of a policy.
+	Tunable = tunable.Tunable
+	// TunableSet is an ordered collection of a policy's tunables.
+	TunableSet = tunable.Set
+	// TunablePolicy is implemented by policies exposing tunables
+	// (Shinjuku, FIFOPolicy, and the MicroQuanta class do).
+	TunablePolicy = tunable.Policy
+)
+
+// NewTunableSet returns an empty tunable set for custom policies.
+var NewTunableSet = tunable.NewSet
 
 // Observability types (see the Observability section of the README).
 type (

@@ -450,6 +450,26 @@ func (set *AgentSet) Crash() {
 	}
 }
 
+// Kick nudges the agents to re-run their scheduling loop promptly even
+// when no kernel messages are flowing. External controllers that queue
+// decisions for the policy to execute (rather than reacting inside
+// OnMessage/Schedule) must Kick after queueing: a quiescent system — all
+// managed threads waiting for dispatch, no wakeups in flight — delivers
+// no messages, so a spin-idling agent would otherwise never look at the
+// queued decisions. In per-CPU mode every runner is nudged.
+func (set *AgentSet) Kick() {
+	if set.stopped {
+		return
+	}
+	if set.globalCPU != hw.NoCPU {
+		set.pokeActive()
+		return
+	}
+	for _, r := range set.sortedRunners() {
+		set.k.Poke(r.thread)
+	}
+}
+
 // pokeActive nudges the active global agent.
 func (set *AgentSet) pokeActive() {
 	if set.stopped || set.globalCPU == hw.NoCPU {

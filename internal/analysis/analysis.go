@@ -79,6 +79,7 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer,
 		HotPathAllocAnalyzer,
 		EventHandleAnalyzer,
+		APISurfaceAnalyzer,
 	}
 }
 

@@ -119,6 +119,10 @@ func TestEventHandleFixture(t *testing.T) {
 	runFixture(t, "eventhandle", "fixturemod/efix", map[string]int{"eventhandle": 1})
 }
 
+func TestAPISurfaceFixture(t *testing.T) {
+	runFixture(t, "apisurface", "fixturemod/ghost", map[string]int{"apisurface": 1})
+}
+
 func TestMalformedDirectives(t *testing.T) {
 	pkg, err := sharedLoader().LoadDir(filepath.Join("testdata", "malformed"), "fixturemod/badfix")
 	if err != nil {
@@ -233,9 +237,26 @@ func TestByNameAndScope(t *testing.T) {
 		"ghost/cmd/ghost-sim":           false,
 		"ghost/internal/simulator":      false,
 		"fixturemod/internal/kernel/fx": true,
+		"env":                           true,
+		"ghost/env":                     true,
+		"ghost/envelope":                false,
 	} {
 		if got := inDeterminismScope(path); got != want {
 			t.Errorf("inDeterminismScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+	for path, want := range map[string]bool{
+		"ghost":                 true,
+		"ghost/env":             true,
+		"fixturemod/ghost":      true,
+		"ghost/internal/kernel": false,
+		"ghost/internal/env":    false,
+		"ghost/cmd/ghost-sim":   false,
+		"ghost/envelope":        false,
+		"ghost/examples/tuned":  false,
+	} {
+		if got := inAPISurfaceScope(path); got != want {
+			t.Errorf("inAPISurfaceScope(%q) = %v, want %v", path, got, want)
 		}
 	}
 }

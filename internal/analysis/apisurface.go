@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// APISurfaceAnalyzer polices the public facade packages (ghost and env):
+// exported identifiers must not spell internal/* types in their declared
+// signatures. The facade re-exports internal types as aliases
+// (ghost.Thread = kernel.Thread) and internal constructors as vars
+// (var NewRand = sim.NewRand) — both are the sanctioned mechanism and
+// exempt. What the check catches is a new exported func, method, type,
+// or explicitly-typed var/const whose source text references an
+// internal-imported package directly, which would force external callers
+// to import internal/* to name the type.
+var APISurfaceAnalyzer = &Analyzer{
+	Name: "apisurface",
+	Doc:  "flags exported facade (ghost, env) declarations spelling internal/* types in signatures; aliases and initializer-only re-exports are exempt",
+	Run:  runAPISurface,
+}
+
+// inAPISurfaceScope reports whether importPath is a public facade
+// package: the module root ("ghost") or the env package, never anything
+// under internal/.
+func inAPISurfaceScope(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "internal" {
+			return false
+		}
+	}
+	for _, name := range []string{"ghost", "env"} {
+		if importPath == name || strings.HasSuffix(importPath, "/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isInternalImportPath reports whether path has an "internal" element.
+func isInternalImportPath(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// apiFile carries per-file context: the fallback name->path map of
+// internal imports, used when type information is unavailable.
+type apiFile struct {
+	p        *Pass
+	internal map[string]string
+}
+
+func runAPISurface(p *Pass) {
+	if !inAPISurfaceScope(p.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		af := &apiFile{p: p, internal: map[string]string{}}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if !isInternalImportPath(path) {
+				continue
+			}
+			name := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			af.internal[name] = path
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				af.checkFunc(d)
+			case *ast.GenDecl:
+				af.checkGen(d)
+			}
+		}
+	}
+}
+
+func (af *apiFile) checkFunc(d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	kind := "func"
+	if d.Recv != nil {
+		base := receiverBase(d.Recv)
+		if base == nil || !base.IsExported() {
+			return // method on an unexported type: not API surface
+		}
+		kind = "method"
+	}
+	af.checkFieldList(d.Type.Params, kind, d.Name.Name)
+	af.checkFieldList(d.Type.Results, kind, d.Name.Name)
+}
+
+func (af *apiFile) checkGen(d *ast.GenDecl) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			if ts.Assign.IsValid() {
+				continue // alias: the sanctioned re-export form
+			}
+			af.checkTypeExpr(ts.Type, ts.Name.Name)
+		}
+	case token.VAR, token.CONST:
+		for _, spec := range d.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || vs.Type == nil {
+				continue // initializer-only (var NewX = pkg.NewX): exempt
+			}
+			for _, n := range vs.Names {
+				if n.IsExported() {
+					af.flag(vs.Type, "var", n.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkTypeExpr inspects an exported defined type: for structs and
+// interfaces only the exported members are surface; any other underlying
+// shape (func, map, slice, chan, ...) is checked whole.
+func (af *apiFile) checkTypeExpr(t ast.Expr, name string) {
+	switch t := t.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			if !fieldExported(field) {
+				continue
+			}
+			af.flag(field.Type, "field of type", name)
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if !fieldExported(m) {
+				continue
+			}
+			af.flag(m.Type, "method of interface", name)
+		}
+	default:
+		af.flag(t, "type", name)
+	}
+}
+
+func (af *apiFile) checkFieldList(fl *ast.FieldList, kind, name string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		af.flag(field.Type, kind, name)
+	}
+}
+
+// fieldExported reports whether a struct field or interface method is
+// part of the exported surface; embedded fields take the name of their
+// base type identifier.
+func fieldExported(f *ast.Field) bool {
+	if len(f.Names) == 0 {
+		if base := baseIdent(f.Type); base != nil {
+			return base.IsExported()
+		}
+		return true // unresolvable embedded expr: err on the surface side
+	}
+	for _, n := range f.Names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverBase digs the receiver's base type identifier out of
+// (t *Machine) / (t Machine) / generic receivers.
+func receiverBase(recv *ast.FieldList) *ast.Ident {
+	if len(recv.List) == 0 {
+		return nil
+	}
+	return baseIdent(recv.List[0].Type)
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			return t.Sel
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// flag reports every reference to an internal-imported package inside a
+// declared type expression.
+func (af *apiFile) flag(expr ast.Expr, kind, name string) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		path, internal := af.pkgPath(id)
+		if !internal {
+			return true
+		}
+		af.p.Reportf(sel.Pos(),
+			"%s %s spells internal type %s.%s (%s) in the public API; re-export it as a facade alias and use that spelling",
+			kind, name, id.Name, sel.Sel.Name, path)
+		return false
+	})
+}
+
+// pkgPath resolves id as a package name and reports whether it names an
+// internal import, preferring type information and falling back to the
+// file's import table.
+func (af *apiFile) pkgPath(id *ast.Ident) (string, bool) {
+	if info := af.p.Pkg.Info; info != nil {
+		if obj := info.Uses[id]; obj != nil {
+			pn, ok := obj.(*types.PkgName)
+			if !ok {
+				return "", false // shadowing local identifier
+			}
+			path := pn.Imported().Path()
+			return path, isInternalImportPath(path)
+		}
+	}
+	path, ok := af.internal[id.Name]
+	return path, ok
+}

@@ -44,6 +44,12 @@ var bannedTimeFuncs = map[string]string{
 }
 
 func inDeterminismScope(importPath string) bool {
+	// The env package executes inside the simulation boundary (its
+	// control policy runs as the enclave's agent), so it is scoped even
+	// though it lives outside internal/.
+	if importPath == "env" || strings.HasSuffix(importPath, "/env") {
+		return true
+	}
 	for _, s := range determinismScope {
 		seg := "/internal/" + s
 		if i := strings.Index(importPath, seg); i >= 0 {

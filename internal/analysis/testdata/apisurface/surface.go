@@ -1,0 +1,57 @@
+// Package gfix is a ghost-lint fixture: a facade-like package (loaded
+// under the import path fixturemod/ghost, which is in apisurface scope)
+// whose exported declarations leak internal/* types. The `want`
+// comments are matched by the golden-diagnostics harness.
+package gfix
+
+import (
+	"ghost/internal/kernel"
+	ksim "ghost/internal/sim"
+)
+
+// Thread is the sanctioned re-export form: an alias never trips the
+// check, however internal its target.
+type Thread = kernel.Thread
+
+// NewMask is the sanctioned constructor re-export: initializer-only
+// vars are exempt.
+var NewMask = kernel.MaskOf
+
+// BadFunc leaks an internal type through an exported parameter.
+func BadFunc(t *kernel.Thread) {} // want apisurface "func BadFunc spells internal type kernel.Thread"
+
+// BadResult leaks one through an exported result, via a renamed import.
+func BadResult() ksim.Duration { return 0 } // want apisurface "func BadResult spells internal type ksim.Duration"
+
+// goodFunc is unexported: free to use internal types.
+func goodFunc(t *kernel.Thread) {}
+
+// BadStruct is a defined (non-alias) type with internal surface.
+type BadStruct struct {
+	Thread *kernel.Thread // want apisurface "field of type BadStruct spells internal type kernel.Thread"
+	hidden ksim.Time      // unexported field: not surface
+}
+
+// BadIface exposes an internal type through an exported method.
+type BadIface interface {
+	Wait() ksim.Duration // want apisurface "method of interface BadIface spells internal type ksim.Duration"
+	local() ksim.Time
+}
+
+// BadHook is a defined func type (not an alias) spelling an internal
+// parameter; the alias form `type Hook = func(...)` or a facade-typed
+// signature is the fix.
+type BadHook func(t *kernel.Thread) int // want apisurface "type BadHook spells internal type kernel.Thread"
+
+// BadVar has an explicit internal type (initializer-only would be fine).
+var BadVar kernel.Mask // want apisurface "var BadVar spells internal type kernel.Mask"
+
+// Method on an exported receiver is surface.
+func (b *BadStruct) Bad(m kernel.Mask) {} // want apisurface "method Bad spells internal type kernel.Mask"
+
+// aliasedUse keeps the type-checker honest about shadowing: a local
+// variable named like a package must not be mistaken for one.
+func aliasedUse() int {
+	kernel := struct{ X int }{}
+	return kernel.X
+}

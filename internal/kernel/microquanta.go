@@ -3,6 +3,7 @@ package kernel
 import (
 	"ghost/internal/hw"
 	"ghost/internal/sim"
+	"ghost/internal/tunable"
 )
 
 // mqThread is the per-thread MicroQuanta state embedded in Thread.
@@ -30,6 +31,7 @@ type MicroQuanta struct {
 	// Bound once so throttle/refill timers schedule allocation-free.
 	throttleFn func(any)
 	refillFn   func(any)
+	tun        *tunable.Set
 }
 
 // NewMicroQuanta creates and registers the MicroQuanta class with the
@@ -40,6 +42,32 @@ func NewMicroQuanta(k *Kernel) *MicroQuanta {
 	m.refillFn = m.refillFire
 	k.RegisterClass(m)
 	return m
+}
+
+// Tunables implements tunable.Policy: the period/quanta pair the
+// auto-tuner may search (cmd/ghost-tune). New values take effect at each
+// thread's next refill; changing them mid-run does not revoke budgets
+// already granted.
+func (m *MicroQuanta) Tunables() *tunable.Set {
+	if m.tun == nil {
+		m.tun = tunable.NewSet().
+			Add(tunable.Tunable{
+				Name: "period_us", Doc: "refill period in µs (paper: 1000)",
+				Min: 200, Max: 10_000, Default: 1000, Log: true,
+				Apply: func(v float64) { m.Period = sim.Duration(v * float64(sim.Microsecond)) },
+			}).
+			Add(tunable.Tunable{
+				Name: "quanta_us", Doc: "CPU budget per period in µs (paper: 900)",
+				Min: 50, Max: 5000, Default: 900, Log: true,
+				Apply: func(v float64) {
+					m.Quanta = sim.Duration(v * float64(sim.Microsecond))
+					if m.Quanta > m.Period {
+						m.Quanta = m.Period
+					}
+				},
+			})
+	}
+	return m.tun
 }
 
 // Name implements Class.

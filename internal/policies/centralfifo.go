@@ -1,10 +1,14 @@
 package policies
 
 import (
+	"sort"
+
 	"ghost/internal/agentsdk"
 	"ghost/internal/ghostcore"
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
+	"ghost/internal/sim"
+	"ghost/internal/tunable"
 )
 
 // CentralFIFO is the centralized FIFO policy: a single global agent
@@ -15,18 +19,27 @@ import (
 // priority over antagonist threads, which only consume spare cycles).
 type CentralFIFO struct {
 	// Band classifies threads into priority bands (0 = highest). Nil
-	// puts every thread in band 0.
+	// puts every thread in band 0. This is the internal hook; external
+	// code configures it via ghost.NewBandedFIFOPolicy / ghost.SnapPolicy,
+	// whose facade-typed ghost.BandFunc adapts directly onto it.
 	Band func(t *kernel.Thread) int
 	// NumBands is the number of bands (default 1).
 	NumBands int
 	// PreemptLower lets a queued thread preempt a running thread of a
 	// strictly lower band via a transactional preemption.
 	PreemptLower bool
+	// Quantum, when positive, turns the FIFO into the round-robin of
+	// Fig 5: a running thread that has held its CPU for Quantum is
+	// transactionally preempted as soon as same-or-higher-band work is
+	// queued for that CPU. Zero (the default) runs threads to
+	// block/completion.
+	Quantum sim.Duration
 
 	tr     *Tracker
 	queues [][]*TState
 	// running mirrors which tracked thread the policy put on each CPU.
 	running map[hw.CPUID]*TState
+	tun     *tunable.Set
 }
 
 // NewCentralFIFO builds the policy.
@@ -149,7 +162,64 @@ func (p *CentralFIFO) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 			}
 		}
 	}
+	if p.Quantum > 0 {
+		// Round-robin (Fig 5): a thread past its quantum yields to queued
+		// work of the same or a higher band; the preempted thread's
+		// THREAD_PREEMPTED message re-enqueues it at the back.
+		for _, cur := range p.runningSorted() {
+			if now-cur.LastStart < p.Quantum {
+				continue
+			}
+			cpu := hw.CPUID(cur.CPU)
+			band := p.bandOf(cur.Thread)
+			var ts *TState
+			for b := 0; b <= band && ts == nil; b++ {
+				ts = p.popFor(b, cpu)
+			}
+			if ts == nil {
+				continue
+			}
+			delete(p.running, cpu)
+			p.tr.MarkScheduled(ts, int(cpu), now)
+			p.running[cpu] = ts
+			out = append(out, agentsdk.Assignment{Thread: ts.Thread, CPU: cpu})
+		}
+		if next := p.nextExpiry(now); next > 0 {
+			ctx.RepollAfter(next)
+		}
+	}
 	return out
+}
+
+// runningSorted returns policy-placed running threads in CPU order (map
+// iteration is randomized; preemption commits must be reproducible).
+func (p *CentralFIFO) runningSorted() []*TState {
+	cpus := make([]int, 0, len(p.running))
+	for cpu := range p.running {
+		cpus = append(cpus, int(cpu))
+	}
+	sort.Ints(cpus)
+	out := make([]*TState, 0, len(cpus))
+	for _, cpu := range cpus {
+		out = append(out, p.running[hw.CPUID(cpu)])
+	}
+	return out
+}
+
+// nextExpiry returns the delay until the earliest running thread exceeds
+// the quantum, 0 when nothing is running.
+func (p *CentralFIFO) nextExpiry(now sim.Time) sim.Duration {
+	var min sim.Duration
+	for _, ts := range p.running {
+		d := ts.LastStart + p.Quantum - now
+		if d < sim.Microsecond {
+			d = sim.Microsecond
+		}
+		if min == 0 || d < min {
+			min = d
+		}
+	}
+	return min
 }
 
 func (p *CentralFIFO) findLowerBandVictim(band int) (hw.CPUID, bool) {
@@ -181,6 +251,25 @@ func (p *CentralFIFO) OnTxnFail(ctx *agentsdk.Context, a agentsdk.Assignment, s 
 	} else {
 		ts.Runnable = false
 	}
+}
+
+// Tunables implements tunable.Policy: the knobs the auto-tuner may
+// search (cmd/ghost-tune). Defaults mirror the zero-value policy.
+func (p *CentralFIFO) Tunables() *tunable.Set {
+	if p.tun == nil {
+		p.tun = tunable.NewSet().
+			Add(tunable.Tunable{
+				Name: "quantum_us", Doc: "round-robin quantum in µs (run-to-block at 0; searched 5–500)",
+				Min: 5, Max: 500, Default: 0, Log: true,
+				Apply: func(v float64) { p.Quantum = sim.Duration(v * float64(sim.Microsecond)) },
+			}).
+			Add(tunable.Tunable{
+				Name: "preempt_lower", Doc: "queued high-band work preempts running lower bands (0/1)",
+				Min: 0, Max: 1, Default: 0, Integer: true,
+				Apply: func(v float64) { p.PreemptLower = v >= 0.5 },
+			})
+	}
+	return p.tun
 }
 
 // QueueLen reports the number of queued (waiting) threads, for tests.

@@ -8,6 +8,7 @@ import (
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
 	"ghost/internal/sim"
+	"ghost/internal/tunable"
 )
 
 // Shinjuku implements the §4.2 preemptive centralized policy: runnable
@@ -22,14 +23,21 @@ import (
 type Shinjuku struct {
 	// Slice is the preemption timeslice (30 µs in the paper).
 	Slice sim.Duration
-	// Batch classifies low-priority batch threads (nil: none).
+	// Batch classifies low-priority batch threads (nil: none); external
+	// code supplies it via ghost.NewShinjukuShenangoPolicy, whose
+	// facade-typed ghost.ThreadSelector adapts directly onto it.
 	Batch func(t *kernel.Thread) bool
+	// MaxCommits bounds the assignments one Schedule round may emit
+	// (the dispatcher's commit batch size); 0 is unbounded. Work left
+	// over stays queued for the next agent step.
+	MaxCommits int
 
 	tr      *Tracker
 	fifo    []*TState // latency-critical runnable FIFO
 	batchq  []*TState
 	running map[hw.CPUID]*TState // latency threads the policy placed
 	batchOn map[hw.CPUID]*TState // batch threads the policy placed
+	tun     *tunable.Set
 }
 
 // NewShinjuku builds the policy with the paper's 30 µs timeslice.
@@ -130,6 +138,9 @@ func (p *Shinjuku) pop(q *[]*TState, cpu hw.CPUID) *TState {
 func (p *Shinjuku) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 	now := ctx.Now()
 	var out []agentsdk.Assignment
+	// full reports the commit batch exhausted (MaxCommits); leftover
+	// runnable work stays queued for the next step.
+	full := func() bool { return p.MaxCommits > 0 && len(out) >= p.MaxCommits }
 	place := func(ts *TState, cpu hw.CPUID, batch bool) {
 		p.tr.MarkScheduled(ts, int(cpu), now)
 		if batch {
@@ -144,16 +155,18 @@ func (p *Shinjuku) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 	// 1. Idle CPUs serve the latency FIFO first.
 	rest := idle[:0]
 	for _, cpu := range idle {
-		if ts := p.pop(&p.fifo, cpu); ts != nil {
-			place(ts, cpu, false)
-		} else {
-			rest = append(rest, cpu)
+		if !full() {
+			if ts := p.pop(&p.fifo, cpu); ts != nil {
+				place(ts, cpu, false)
+				continue
+			}
 		}
+		rest = append(rest, cpu)
 	}
 	idle = rest
 
 	// 2. Latency work still waiting displaces batch threads.
-	for len(p.fifo) > 0 {
+	for len(p.fifo) > 0 && !full() {
 		victim, ok := p.anyBatchCPU()
 		if !ok {
 			break
@@ -170,7 +183,7 @@ func (p *Shinjuku) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 	if len(p.fifo) > 0 {
 		for cpu, cur := range p.runningSorted() {
 			_ = cpu
-			if len(p.fifo) == 0 {
+			if len(p.fifo) == 0 || full() {
 				break
 			}
 			if now-cur.LastStart < p.Slice {
@@ -190,6 +203,9 @@ func (p *Shinjuku) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 
 	// 4. Spare capacity goes to batch threads (Shenango extension).
 	for _, cpu := range idle {
+		if full() {
+			break
+		}
 		if ts := p.pop(&p.batchq, cpu); ts != nil {
 			place(ts, cpu, true)
 		}
@@ -258,6 +274,25 @@ func (p *Shinjuku) OnTxnFail(ctx *agentsdk.Context, a agentsdk.Assignment, s gho
 	} else {
 		ts.Runnable = false
 	}
+}
+
+// Tunables implements tunable.Policy: the knobs the auto-tuner may
+// search (cmd/ghost-tune).
+func (p *Shinjuku) Tunables() *tunable.Set {
+	if p.tun == nil {
+		p.tun = tunable.NewSet().
+			Add(tunable.Tunable{
+				Name: "slice_us", Doc: "preemption timeslice in µs (paper: 30)",
+				Min: 5, Max: 1000, Default: 30, Log: true,
+				Apply: func(v float64) { p.Slice = sim.Duration(v * float64(sim.Microsecond)) },
+			}).
+			Add(tunable.Tunable{
+				Name: "max_commits", Doc: "commit batch size per scheduling round (unbounded at 0; searched 1–64)",
+				Min: 1, Max: 64, Default: 0, Integer: true,
+				Apply: func(v float64) { p.MaxCommits = int(v) },
+			})
+	}
+	return p.tun
 }
 
 // QueueLens reports FIFO and batch queue lengths (for tests).

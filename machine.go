@@ -28,13 +28,13 @@ type Machine struct {
 
 	// CFS is the default scheduler; threads spawned with the zero
 	// ThreadOpts.Class run under it.
-	CFS *kernel.CFS
+	CFS *CFSClass
 	// MicroQuanta is the soft real-time class of §4.3.
-	MicroQuanta *kernel.MicroQuanta
+	MicroQuanta *MicroQuantaClass
 	// Agents is the top-priority class hosting ghOSt agents.
-	Agents *kernel.AgentClass
+	Agents *AgentRunnerClass
 	// Ghost is the ghOSt scheduling class.
-	Ghost *ghostcore.Class
+	Ghost *GhostClass
 }
 
 // machineConfig collects the effects of MachineOptions.
@@ -148,7 +148,7 @@ func (c *Cluster) shdOrOwn(m *Machine) *sim.Sharded {
 // topology. By default the machine collects aggregate scheduling
 // metrics (Machine.Metrics); add WithTrace to also record a
 // Perfetto-loadable event trace.
-func NewMachine(topo *hw.Topology, opts ...MachineOption) *Machine {
+func NewMachine(topo *Topology, opts ...MachineOption) *Machine {
 	cfg := machineConfig{
 		cost:   hw.DefaultCostModel(),
 		tracer: trace.NewMetricsOnly(),
@@ -198,10 +198,10 @@ func NewMachine(topo *hw.Topology, opts ...MachineOption) *Machine {
 }
 
 // Kernel exposes the underlying simulated kernel.
-func (m *Machine) Kernel() *kernel.Kernel { return m.k }
+func (m *Machine) Kernel() *Kernel { return m.k }
 
 // Topology returns the machine topology.
-func (m *Machine) Topology() *hw.Topology { return m.k.Topology() }
+func (m *Machine) Topology() *Topology { return m.k.Topology() }
 
 // Tracer returns the machine's tracer (nil with WithoutMetrics).
 func (m *Machine) Tracer() *Tracer { return m.tr }

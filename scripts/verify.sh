@@ -37,11 +37,14 @@ for ex in examples/*/; do
 	name=$(basename "$ex")
 	quick=""
 	case "$name" in
-	search | shinjuku | snap) quick="-quick" ;;
+	search | shinjuku | snap | tuned) quick="-quick" ;;
 	esac
 	echo "-- $name"
 	go run "./$ex" $quick >/dev/null
 done
+
+echo "== ghost-tune smoke (successive-halving auto-tuner)"
+go run ./cmd/ghost-tune -scenario shinjuku-rocksdb -quick -parallel 4
 
 echo "== fig9 smoke (upgrade/crash robustness)"
 go run ./cmd/ghost-bench -exp fig9 -quick
@@ -51,5 +54,8 @@ sh scripts/bench.sh -quick
 
 echo "== bench regression diff (vs recorded artifact)"
 go run ./cmd/ghost-bench -diff BENCH_pr3.json /tmp/bench_quick.json
+
+echo "== bench recording gate (pr6 -> pr7 full artifacts)"
+go run ./cmd/ghost-bench -diff BENCH_pr6.json BENCH_pr7.json
 
 echo "verify: all checks passed"

@@ -1,0 +1,57 @@
+package ghost
+
+import (
+	"ghost/internal/workload"
+)
+
+// Workload generation, re-exported from internal/workload so external
+// code (and the env package) can build the paper's open-loop serving
+// structures purely in facade vocabulary: a PoissonSource feeds Requests
+// to a WorkerPool of simulated threads, and a LatencyRecorder accumulates
+// arrival-to-completion latency.
+type (
+	// Request is one unit of work flowing through a workload.
+	Request = workload.Request
+	// ServiceDist draws request service times.
+	ServiceDist = workload.ServiceDist
+	// FixedService is a constant service time.
+	FixedService = workload.Fixed
+	// ExponentialService draws exponential service times with the given
+	// mean.
+	ExponentialService = workload.Exponential
+	// BimodalService is the dispersive two-point distribution of §4.2.
+	BimodalService = workload.Bimodal
+	// PoissonSource is an open-loop arrival generator.
+	PoissonSource = workload.PoissonSource
+	// WorkerPool is the §4.2 serving structure: blocked worker threads
+	// each serving one request at a time.
+	WorkerPool = workload.WorkerPool
+	// LatencyRecorder accumulates request latency and throughput.
+	LatencyRecorder = workload.LatencyRecorder
+)
+
+// RocksDBService returns the §4.2 bimodal RocksDB request mix (99.5 %
+// ~10 µs, 0.5 % ~10 ms).
+var RocksDBService = workload.RocksDBService
+
+// Spinner returns a CPU-bound antagonist thread body running forever in
+// chunk-sized slices.
+var Spinner = workload.Spinner
+
+// FiniteSpinner returns a thread body that runs total CPU work in
+// chunk-sized slices, then calls onDone and exits.
+var FiniteSpinner = workload.FiniteSpinner
+
+// NewPoissonSource attaches an open-loop generator to the machine's
+// event queue: rate requests/second with the given service distribution,
+// each delivered to sink at its arrival time.
+func (m *Machine) NewPoissonSource(r *Rand, rate float64, service ServiceDist, sink func(*Request)) *PoissonSource {
+	return workload.NewPoissonSource(m.sched, r, rate, service, sink)
+}
+
+// NewWorkerPool spawns n worker threads via the given spawner (which
+// chooses the scheduling class — see Machine.Spawn and ThreadOpts.Class)
+// and returns the pool; submit requests with Pool.Submit.
+func (m *Machine) NewWorkerPool(n int, rec *LatencyRecorder, spawn func(name string, body ThreadFunc) *Thread) *WorkerPool {
+	return workload.NewWorkerPool(m.k, n, rec, spawn)
+}
