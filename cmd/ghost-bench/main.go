@@ -25,7 +25,12 @@ import (
 	"ghost/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit status back to main so deferred cleanup —
+// notably the -cpuprofile/-memprofile stop function — runs on every
+// path before the process exits.
+func realMain() int {
 	var (
 		c    cli.Common
 		exp  = flag.String("exp", "all", "experiment id (see -list) or 'all'")
@@ -36,39 +41,53 @@ func main() {
 	c.ParallelFlag(flag.CommandLine)
 	c.ShardsFlag(flag.CommandLine)
 	c.QuickFlag(flag.CommandLine, "shrink durations/sweeps for a fast pass")
+	c.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *diff {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "usage: ghost-bench -diff old.json new.json")
-			os.Exit(2)
+			return 2
 		}
-		os.Exit(runDiff(flag.Arg(0), flag.Arg(1)))
+		return runDiff(flag.Arg(0), flag.Arg(1))
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
-	opts := experiments.Options{Quick: c.Quick, Seed: c.Seed, Parallel: c.Parallel, Shards: c.Shards}
-	run := func(e experiments.Experiment) {
-		start := time.Now()
-		rep := e.Run(opts)
-		fmt.Println(rep.String())
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	}
+	var todo []experiments.Experiment
 	if *exp == "all" {
-		for _, e := range experiments.All() {
-			run(e)
+		todo = experiments.All()
+	} else {
+		e := experiments.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			return 1
 		}
-		return
+		todo = []experiments.Experiment{*e}
 	}
-	e := experiments.ByID(*exp)
-	if e == nil {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-		os.Exit(1)
+
+	stop, err := c.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghost-bench:", err)
+		return 1
 	}
-	run(*e)
+	defer stop()
+
+	opts := experiments.Options{Quick: c.Quick, Seed: c.Seed, Parallel: c.Parallel, Shards: c.Shards}
+	for _, e := range todo {
+		e := e
+		// Label each experiment's samples so one -cpuprofile over -exp all
+		// can still be sliced per figure (pprof -tagfocus experiment=...).
+		cli.Labeled("experiment", e.ID, func() {
+			start := time.Now()
+			rep := e.Run(opts)
+			fmt.Println(rep.String())
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		})
+	}
+	return 0
 }

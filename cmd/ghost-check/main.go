@@ -27,7 +27,11 @@ import (
 	"ghost/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain returns the exit status instead of calling os.Exit inline,
+// so the deferred -cpuprofile/-memprofile stop function always runs.
+func realMain() int {
 	var (
 		c        cli.Common
 		repro    = flag.String("repro", "", `run one scenario from a repro string, e.g. "seed=7 policy=shinjuku cpus=4 threads=6 horizon=20.000ms"`)
@@ -40,19 +44,27 @@ func main() {
 	c.ParallelFlag(flag.CommandLine)
 	c.ShardsFlag(flag.CommandLine)
 	c.QuickFlag(flag.CommandLine, "halve every scenario horizon (CI smoke mode)")
+	c.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *mutate != "" && !contains(check.MutationNames(), *mutate) {
 		fmt.Fprintf(os.Stderr, "ghost-check: unknown mutation %q (want one of %s)\n",
 			*mutate, strings.Join(check.MutationNames(), ", "))
-		os.Exit(2)
+		return 2
 	}
+
+	stop, err := c.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghost-check:", err)
+		return 2
+	}
+	defer stop()
 
 	if *repro != "" {
 		s, err := check.ParseRepro(*repro)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ghost-check:", err)
-			os.Exit(2)
+			return 2
 		}
 		if *mutate != "" {
 			s.Mutation = *mutate
@@ -60,7 +72,7 @@ func main() {
 		if c.Shards > 0 {
 			s.Shards = c.Shards
 		}
-		os.Exit(reportScenario(s.Run()))
+		return reportScenario(s.Run())
 	}
 
 	jobs := make([]experiments.Job, c.Seeds)
@@ -102,9 +114,10 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Printf("\nghost-check: %d/%d scenarios violated invariants\n", failures, len(jobs))
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("ghost-check: %d scenarios OK (seeds %d..%d)\n", len(jobs), c.Seed, c.Seed+uint64(c.Seeds)-1)
+	return 0
 }
 
 func contains(xs []string, x string) bool {

@@ -44,7 +44,11 @@ type scenario struct {
 	invar    bool
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain returns the exit status instead of calling os.Exit directly,
+// so the deferred -cpuprofile/-memprofile stop function always runs.
+func realMain() int {
 	var (
 		machine  = flag.String("machine", "xeon-e5", "machine: skylake, haswell, xeon-e5, rome")
 		sched    = flag.String("sched", "ghost-fifo", "scheduler: cfs, microquanta, ghost-fifo, ghost-shinjuku")
@@ -68,6 +72,7 @@ func main() {
 	c.ParallelFlag(flag.CommandLine)
 	c.ShardsFlag(flag.CommandLine)
 	c.QuickFlag(flag.CommandLine, "cap -dur at 200ms for a fast smoke pass")
+	c.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 	seed, seeds, parallel := &c.Seed, &c.Seeds, &c.Parallel
 	if c.Quick && *dur > 200*time.Millisecond {
@@ -86,16 +91,23 @@ func main() {
 		topo = ghost.AMDRome()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
-		os.Exit(1)
+		return 1
 	}
 	if *cpus+1 > topo.NumCPUs() {
 		fmt.Fprintf(os.Stderr, "machine has only %d CPUs\n", topo.NumCPUs())
-		os.Exit(1)
+		return 1
 	}
 	if *seeds > 1 && (*traceLog || *traceOut != "") {
 		fmt.Fprintf(os.Stderr, "-tracelog/-trace need a single run; drop -seeds\n")
-		os.Exit(1)
+		return 1
 	}
+
+	stop, err := c.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghost-sim:", err)
+		return 1
+	}
+	defer stop()
 
 	sc := scenario{
 		machine: *machine, topo: topo, sched: *sched, rate: *rate,
@@ -108,9 +120,9 @@ func main() {
 		fmt.Print(out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	// Seed sweep: each seed is an independent deterministic simulation,
@@ -142,8 +154,9 @@ func main() {
 		fmt.Print(r.(string))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // run executes the scenario and returns its rendered output. Errors from

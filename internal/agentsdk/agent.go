@@ -69,6 +69,10 @@ type Context struct {
 	set     *AgentSet
 	Enclave *ghostcore.Enclave
 	Kernel  *kernel.Kernel
+
+	// idleScratch backs IdleCPUs between calls; policies call it every
+	// scheduling step, so reusing it keeps the step alloc-free.
+	idleScratch []hw.CPUID
 }
 
 // Now returns the current simulated time.
@@ -83,14 +87,19 @@ func (c *Context) IsIdle(cpu hw.CPUID) bool { return c.Kernel.CPU(cpu).Idle() }
 // IdleCPUs returns the enclave's idle CPUs (GetIdleCPUs() in Fig 4).
 // CPUs with a committed-but-not-yet-installed transaction are excluded:
 // re-assigning them would displace the in-flight commit.
+//
+// The returned slice is a scratch buffer valid until the next IdleCPUs
+// call on this Context; callers may filter it in place but must not
+// retain it across scheduling steps.
 func (c *Context) IdleCPUs() []hw.CPUID {
-	var out []hw.CPUID
+	out := c.idleScratch[:0]
 	c.Enclave.CPUs().ForEach(func(id hw.CPUID) bool {
 		if c.Kernel.CPU(id).Idle() && c.Enclave.LatchedFor(id) == nil {
 			out = append(out, id)
 		}
 		return true
 	})
+	c.idleScratch = out
 	return out
 }
 

@@ -115,6 +115,10 @@ func TestHotPathAllocFixture(t *testing.T) {
 	runFixture(t, "hotpathalloc", "fixturemod/hfix", map[string]int{"hotpathalloc": 1})
 }
 
+func TestHotPathAllocMsgRingFixture(t *testing.T) {
+	runFixture(t, "hotpathallocmsg", "fixturemod/internal/ghostcore/mfix", map[string]int{"hotpathalloc": 1})
+}
+
 func TestEventHandleFixture(t *testing.T) {
 	runFixture(t, "eventhandle", "fixturemod/efix", map[string]int{"eventhandle": 1})
 }

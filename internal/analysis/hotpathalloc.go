@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // HotPathAllocAnalyzer enforces the alloc-free dispatch rule from
@@ -13,9 +14,14 @@ import (
 // a method value spelled at the call site, which Go materializes as a
 // fresh allocation on every evaluation — silently reintroduces the
 // per-event garbage those call sites exist to avoid.
+// It also covers the message rings (DESIGN.md §3i): in internal/ghostcore,
+// the delivery-path functions (post, deliver, enqueue, Drain, Pop) are
+// the simulated analogue of the kernel writing a preallocated shared-
+// memory ring, so an `append` there reintroduces per-message garbage.
+// Growth belongs in dedicated cold-path helpers (grow, growScratch).
 var HotPathAllocAnalyzer = &Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "flags closure literals and per-call method values at AtCall/AfterCall/Schedule call sites",
+	Doc:  "flags closure literals and per-call method values at AtCall/AfterCall/Schedule call sites, and append on ghostcore message-delivery paths",
 	Run:  runHotPathAlloc,
 }
 
@@ -29,7 +35,33 @@ var hotPathCallees = map[string]bool{
 	"Schedule":  true,
 }
 
+// msgPathFuncs are the message-delivery functions in internal/ghostcore
+// whose bodies must not append: they run once per kernel-to-agent
+// message, and the ring they write is preallocated.
+var msgPathFuncs = map[string]bool{
+	"post":    true,
+	"deliver": true,
+	"enqueue": true,
+	"Drain":   true,
+	"Pop":     true,
+}
+
+// inMsgRingScope reports whether importPath is internal/ghostcore (or a
+// package under it), where the delivery-path append rule applies.
+func inMsgRingScope(importPath string) bool {
+	const seg = "/internal/ghostcore"
+	i := strings.Index(importPath, seg)
+	if i < 0 {
+		return false
+	}
+	rest := importPath[i+len(seg):]
+	return rest == "" || rest[0] == '/'
+}
+
 func runHotPathAlloc(p *Pass) {
+	if inMsgRingScope(p.Pkg.ImportPath) {
+		runMsgRingAppend(p)
+	}
 	info := p.Pkg.Info
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -58,6 +90,46 @@ func runHotPathAlloc(p *Pass) {
 			return true
 		})
 	}
+}
+
+// runMsgRingAppend flags append calls inside the delivery-path
+// functions of a ghostcore package.
+func runMsgRingAppend(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !msgPathFuncs[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltinAppend(p, id) {
+					p.Reportf(call.Pos(),
+						"append in message-delivery function %s allocates per message: the ring is preallocated; move growth to a cold-path helper (DESIGN.md §3i)",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isBuiltinAppend reports whether id resolves to the append builtin
+// (not a local identifier shadowing it). Without type info the name
+// alone decides.
+func isBuiltinAppend(p *Pass, id *ast.Ident) bool {
+	if p.Pkg.Info == nil {
+		return true
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
 }
 
 // exprString renders simple receiver expressions for messages.

@@ -1,0 +1,11 @@
+//ghostlint:allow hotpathalloc fixture: debug queue, delivery rate too low to matter
+package mfix
+
+// debugQueue is waived by the file-level directive above.
+type debugQueue struct {
+	msgs []message
+}
+
+func (q *debugQueue) deliver(m message) {
+	q.msgs = append(q.msgs, m)
+}

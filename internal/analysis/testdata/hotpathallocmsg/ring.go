@@ -1,0 +1,59 @@
+// Package mfix is a ghost-lint fixture: append on the ghostcore
+// message-delivery path (the preallocated-ring rule). The fixture's
+// import path places it under internal/ghostcore, where the rule
+// applies; the same code elsewhere is not flagged.
+package mfix
+
+type message struct{ seq uint64 }
+
+type queue struct {
+	buf        []message
+	head, tail uint64
+	scratch    []message
+	log        []uint64
+}
+
+// deliver is on the delivery path: appending to any slice here runs the
+// allocator once per message.
+func (q *queue) deliver(m message) {
+	q.log = append(q.log, m.seq) // want hotpathalloc "append in message-delivery function deliver"
+	q.buf[q.tail&uint64(len(q.buf)-1)] = m
+	q.tail++
+}
+
+// post is the delivery entry point; the append hides inside a branch
+// but is still flagged.
+func (q *queue) post(m message) {
+	if q.tail-q.head == uint64(len(q.buf)) {
+		q.buf = append(q.buf, m) // want hotpathalloc "append in message-delivery function post"
+		return
+	}
+	q.deliver(m)
+}
+
+// Drain must reuse its scratch buffer, not accumulate.
+func (q *queue) Drain() []message {
+	var out []message
+	for q.head != q.tail {
+		out = append(out, q.buf[q.head&uint64(len(q.buf)-1)]) // want hotpathalloc "append in message-delivery function Drain"
+		q.head++
+	}
+	return out
+}
+
+// grow is the blessed cold path: not a delivery function, so growth
+// (including append) is fine here.
+func (q *queue) grow() {
+	q.buf = append(q.buf, make([]message, len(q.buf))...)
+}
+
+// Pop with a shadowed append is not the builtin: not flagged.
+func (q *queue) Pop() (message, bool) {
+	appendLocal := func(m message) message { return m }
+	if q.tail == q.head {
+		return message{}, false
+	}
+	m := appendLocal(q.buf[q.head&uint64(len(q.buf)-1)])
+	q.head++
+	return m, true
+}

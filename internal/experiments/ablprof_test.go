@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"testing"
+
+	"ghost"
+	"ghost/internal/policies"
+	"ghost/internal/sim"
+)
+
+// BenchmarkFig8AblationShort is a 1/10-scale probe of the ablation's
+// cluster run, for profiling the Group merge path without the full
+// 2-second window.
+func BenchmarkFig8AblationShort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := Options{Quick: true, Seed: 1}
+		cl := ghost.NewCluster(1)
+		handles := make([]*fig8Handle, 4)
+		for j := 0; j < 4; j++ {
+			handles[j] = fig8Start(policies.NewSearch(), o, cl)
+		}
+		cl.Run(200 * sim.Millisecond)
+		for _, h := range handles {
+			h.finish()
+		}
+	}
+}

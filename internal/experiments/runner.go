@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 )
 
@@ -25,7 +27,7 @@ func RunJobs(parallel int, jobs []Job) []any {
 	out := make([]any, len(jobs))
 	if parallel <= 1 || len(jobs) <= 1 {
 		for i, j := range jobs {
-			out[i] = j.Run()
+			out[i] = runLabeled(j)
 		}
 		return out
 	}
@@ -37,16 +39,30 @@ func RunJobs(parallel int, jobs []Job) []any {
 	wg.Add(len(jobs))
 	for i, j := range jobs {
 		sem <- struct{}{}
-		go func(i int, run func() any) {
+		go func(i int, j Job) {
 			defer func() {
 				<-sem
 				wg.Done()
 			}()
-			out[i] = run()
-		}(i, j.Run)
+			out[i] = runLabeled(j)
+		}(i, j)
 	}
 	wg.Wait()
 	return out
+}
+
+// runLabeled executes one job under a pprof label carrying its name, so
+// CPU profiles recorded with -cpuprofile attribute samples per job
+// (`go tool pprof -tagleaf job profile`). Unnamed jobs (anonymous sweep
+// points) skip the label plumbing.
+func runLabeled(j Job) (result any) {
+	if j.Name == "" {
+		return j.Run()
+	}
+	pprof.Do(context.Background(), pprof.Labels("job", j.Name), func(context.Context) {
+		result = j.Run()
+	})
+	return result
 }
 
 // Parallelism resolves Options.Parallel: 0 means one worker per core.

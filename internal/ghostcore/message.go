@@ -72,10 +72,26 @@ type Message struct {
 // Queue is a ghOSt message queue in "shared memory": the kernel produces
 // messages, an agent consumes them. A queue may be configured to wake an
 // agent on enqueue (per-CPU model) or be polled (centralized model).
+//
+// Like the real ghOSt queues — preallocated shared-memory rings the
+// kernel writes and the agent reads — the simulated queue is a pooled
+// power-of-two ring buffer: post/deliver never allocate in steady state,
+// Drain hands back a reusable scratch slice, and consuming a message
+// never retains the backing array (the old `msgs = msgs[1:]` churn).
 type Queue struct {
 	enc  *Enclave
 	name string
-	msgs []Message
+
+	// Ring of pending messages: buf[head&mask .. tail&mask), len(buf) a
+	// power of two. head and tail are free-running counters, so
+	// tail-head is the pending count and indexes never normalize.
+	buf  []Message
+	head uint64
+	tail uint64
+
+	// scratch is the reusable Drain output buffer; grown to the ring's
+	// high-water mark once, then recycled on every Drain.
+	scratch []Message
 
 	// wakeAgent, when set, is woken whenever a message is produced
 	// (CONFIG_QUEUE_WAKEUP).
@@ -91,7 +107,46 @@ type Queue struct {
 func (q *Queue) Name() string { return q.name }
 
 // Len returns the number of pending messages.
-func (q *Queue) Len() int { return len(q.msgs) }
+func (q *Queue) Len() int { return int(q.tail - q.head) }
+
+// enqueue files m at the ring tail, growing the ring on the cold path.
+func (q *Queue) enqueue(m Message) {
+	if int(q.tail-q.head) == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail&uint64(len(q.buf)-1)] = m
+	q.tail++
+}
+
+// grow doubles the ring (cold path: each capacity is reached at most
+// once per queue), unwrapping the pending messages to the front.
+func (q *Queue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]Message, n)
+	c := q.copyPending(nb)
+	q.buf = nb
+	q.head, q.tail = 0, uint64(c)
+}
+
+// copyPending copies the pending messages into dst in FIFO order and
+// returns how many there were. dst must hold Len() messages.
+func (q *Queue) copyPending(dst []Message) int {
+	n := int(q.tail - q.head)
+	if n == 0 {
+		return 0
+	}
+	h := int(q.head & uint64(len(q.buf)-1))
+	first := len(q.buf) - h
+	if first > n {
+		first = n
+	}
+	copy(dst, q.buf[h:h+first])
+	copy(dst[first:n], q.buf[:n-first])
+	return n
+}
 
 // post timestamps a message and runs it through the fault injector (if
 // any) before delivery: a dropped message is a real lost wakeup — the
@@ -137,9 +192,9 @@ func (q *Queue) deliver(m Message, dup, delayed bool) {
 	if q.dead {
 		return
 	}
-	q.msgs = append(q.msgs, m)
+	q.enqueue(m)
 	if tr := q.enc.k.Tracer(); tr != nil {
-		tr.MsgPosted(q.enc.k.Now(), q.enc.id, q.name, m.Type.String(), uint64(m.TID), len(q.msgs))
+		tr.MsgPosted(q.enc.k.Now(), q.enc.id, q.name, m.Type.String(), uint64(m.TID), q.Len())
 	}
 	g := q.enc.g
 	if len(g.observers) > 0 {
@@ -163,10 +218,19 @@ func (q *Queue) deliver(m Message, dup, delayed bool) {
 	}
 }
 
-// Drain removes and returns all pending messages.
+// Drain removes and returns all pending messages. The returned slice is
+// the queue's reusable scratch buffer: it is valid until the next Drain
+// of the same queue, and callers must not retain or append to it —
+// exactly the read-then-release discipline the real shared-memory ring
+// imposes on agents.
 func (q *Queue) Drain() []Message {
-	out := q.msgs
-	q.msgs = nil
+	n := int(q.tail - q.head)
+	if cap(q.scratch) < n {
+		q.growScratch(n)
+	}
+	out := q.scratch[:n]
+	q.copyPending(out)
+	q.head = q.tail
 	g := q.enc.g
 	for _, m := range out {
 		if gt := q.enc.ghostOf(m.TID); gt != nil {
@@ -179,13 +243,24 @@ func (q *Queue) Drain() []Message {
 	return out
 }
 
-// Pop removes and returns the oldest message.
+// growScratch sizes the Drain buffer to the ring's capacity class (cold
+// path, at most once per capacity).
+func (q *Queue) growScratch(n int) {
+	c := 16
+	for c < n {
+		c *= 2
+	}
+	q.scratch = make([]Message, 0, c)
+}
+
+// Pop removes and returns the oldest message. Unlike the pre-ring
+// implementation, popping never retains the rest of the backing array.
 func (q *Queue) Pop() (Message, bool) {
-	if len(q.msgs) == 0 {
+	if q.tail == q.head {
 		return Message{}, false
 	}
-	m := q.msgs[0]
-	q.msgs = q.msgs[1:]
+	m := q.buf[q.head&uint64(len(q.buf)-1)]
+	q.head++
 	if gt := q.enc.ghostOf(m.TID); gt != nil {
 		gt.pendingMsgs--
 	}

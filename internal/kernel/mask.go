@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"ghost/internal/hw"
@@ -64,9 +65,7 @@ func (m Mask) Empty() bool {
 func (m Mask) Count() int {
 	n := 0
 	for _, w := range m.bits {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -90,20 +89,18 @@ func (m Mask) Or(o Mask) Mask {
 }
 
 // ForEach calls fn for each CPU in the mask in ascending order; fn
-// returning false stops the iteration.
+// returning false stops the iteration. This runs once per scheduling
+// decision over up-to-256-CPU machines, so the bit scan must be
+// constant-time per set bit (TrailingZeros64, not a shift loop).
 func (m Mask) ForEach(fn func(hw.CPUID) bool) {
 	for w := 0; w < 4; w++ {
-		bits := m.bits[w]
-		for bits != 0 {
-			b := bits & (-bits)
-			idx := 0
-			for bb := b; bb > 1; bb >>= 1 {
-				idx++
-			}
+		rest := m.bits[w]
+		for rest != 0 {
+			idx := bits.TrailingZeros64(rest)
 			if !fn(hw.CPUID(w*64 + idx)) {
 				return
 			}
-			bits &^= b
+			rest &= rest - 1
 		}
 	}
 }

@@ -116,6 +116,13 @@ type Thread struct {
 	pendingWork sim.Duration // remaining CPU work of the current action
 	onWorkDone  func()
 
+	// afterAction and afterFn are nextAction's reusable continuation: a
+	// thread has at most one pending post-run action, so one closure per
+	// thread (allocated lazily on first use) replaces one per run
+	// segment — the top allocation site in CPU-bound sweeps.
+	afterAction action
+	afterFn     func()
+
 	wakePending bool // Wake arrived while not blocked
 	poked       bool // poke arrived for a stepper thread
 
@@ -254,7 +261,11 @@ func (t *Thread) nextAction() action {
 	if cost == 0 {
 		return after
 	}
-	return action{kind: actRun, dur: cost, then: func() { t.k.applyAction(t, after) }}
+	if t.afterFn == nil {
+		t.afterFn = func() { t.k.applyAction(t, t.afterAction) }
+	}
+	t.afterAction = after
+	return action{kind: actRun, dur: cost, then: t.afterFn}
 }
 
 // TaskContext is the interface a simulated thread body uses to interact

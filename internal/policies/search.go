@@ -110,13 +110,13 @@ func (p *Search) OnMessage(ctx *agentsdk.Context, m ghostcore.Message) {
 func (p *Search) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 	now := ctx.Now()
 	topo := ctx.Topology()
-	idle := make(map[hw.CPUID]bool)
+	var idle kernel.Mask
 	for _, cpu := range ctx.IdleCPUs() {
-		idle[cpu] = true
+		idle.Set(cpu)
 	}
 	var out []agentsdk.Assignment
 	var skipped []*heapEnt
-	for p.heap.Len() > 0 && len(idle) > 0 {
+	for p.heap.Len() > 0 && !idle.Empty() {
 		e := heap.Pop(&p.heap).(*heapEnt)
 		ts := e.ts
 		if ts.Thread.State() != kernel.StateRunnable {
@@ -134,7 +134,7 @@ func (p *Search) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 			skipped = append(skipped, e)
 			continue
 		}
-		delete(idle, cpu)
+		idle.Clear(cpu)
 		ts.Enqueued = false
 		p.tr.MarkScheduled(ts, int(cpu), now)
 		out = append(out, agentsdk.Assignment{Thread: ts.Thread, CPU: cpu})
@@ -151,15 +151,13 @@ func (p *Search) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 // bestCPU picks the idle CPU closest to where t last ran, returning the
 // achieved distance. With locality disabled it returns the lowest-id
 // idle CPU in the mask.
-func (p *Search) bestCPU(topo *hw.Topology, t *kernel.Thread, idle map[hw.CPUID]bool) (hw.CPUID, hw.Distance) {
-	mask := t.Affinity()
+func (p *Search) bestCPU(topo *hw.Topology, t *kernel.Thread, idle kernel.Mask) (hw.CPUID, hw.Distance) {
 	last := t.LastCPU()
 	best := hw.NoCPU
 	bestDist := hw.DistRemote + 1
-	mask.ForEach(func(cpu hw.CPUID) bool {
-		if !idle[cpu] {
-			return true
-		}
+	// Intersecting up front walks only the idle CPUs in the thread's
+	// mask — no per-CPU membership test in the loop.
+	t.Affinity().And(idle).ForEach(func(cpu hw.CPUID) bool {
 		var d hw.Distance
 		switch {
 		case last == hw.NoCPU || (!p.CCXAware && !p.NUMAAware):

@@ -38,6 +38,10 @@ type Shinjuku struct {
 	running map[hw.CPUID]*TState // latency threads the policy placed
 	batchOn map[hw.CPUID]*TState // batch threads the policy placed
 	tun     *tunable.Set
+
+	// runningSorted scratch, reused every scheduling step.
+	cpuScratch []int
+	runScratch []*TState
 }
 
 // NewShinjuku builds the policy with the paper's 30 µs timeslice.
@@ -220,16 +224,18 @@ func (p *Shinjuku) Schedule(ctx *agentsdk.Context) []agentsdk.Assignment {
 
 // runningSorted returns running latency threads in deterministic CPU
 // order (map iteration is randomized; commits must be reproducible).
+// The slice is scratch, valid until the next call.
 func (p *Shinjuku) runningSorted() []*TState {
-	var cpus []int
+	cpus := p.cpuScratch[:0]
 	for cpu := range p.running {
 		cpus = append(cpus, int(cpu))
 	}
 	sort.Ints(cpus)
-	out := make([]*TState, 0, len(cpus))
+	out := p.runScratch[:0]
 	for _, cpu := range cpus {
 		out = append(out, p.running[hw.CPUID(cpu)])
 	}
+	p.cpuScratch, p.runScratch = cpus, out
 	return out
 }
 

@@ -1,11 +1,21 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // All of the ghOSt reproduction runs on virtual time: the engine maintains
-// a priority queue of events keyed by (time, sequence) and executes them in
-// order. Because the engine is single-threaded and every source of
-// randomness is a seeded generator, a simulation run is bit-reproducible.
-// Time is measured in integer nanoseconds of simulated time; wall-clock
-// effects such as Go garbage collection cannot perturb simulated latencies.
+// a pending-event structure keyed by (time, sequence) and executes events
+// in that total order. Because the engine is single-threaded and every
+// source of randomness is a seeded generator, a simulation run is
+// bit-reproducible. Time is measured in integer nanoseconds of simulated
+// time; wall-clock effects such as Go garbage collection cannot perturb
+// simulated latencies.
+//
+// The pending-event structure is a timing-wheel / calendar-queue hybrid
+// (see DESIGN.md §3i): events within the near horizon land in fixed-width
+// buckets indexed directly from their timestamp, far events overflow to a
+// sorted spill heap and migrate into the wheel as the clock approaches
+// them. Dispatch order is exactly the (at, seq) total order a single
+// binary heap would produce — the wheel only changes *where* an event
+// waits, never *when* it fires relative to its peers — which the
+// differential test against a reference heap (refheap_test.go) pins.
 //
 // The scheduling hot path is allocation-free: fired and cancelled events
 // are recycled through a per-engine free list, and the AtCall/AfterCall
@@ -16,6 +26,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is a point in simulated time, in nanoseconds since simulation start.
@@ -52,14 +63,36 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// Timing-wheel geometry. Buckets are 2^bucketShift ns wide and the wheel
+// holds numBuckets of them, so the near horizon spans wheelSpan ns
+// (256 × 1.024 µs ≈ 262 µs) ahead of the wheel base. The figures are
+// calibrated to the simulator's event mix: context-switch and message
+// costs (0.1–5 µs), scheduling quanta (5–250 µs) and agent wakeups all
+// land inside the wheel; only millisecond-scale timers (ticks, watchdogs,
+// deadlines) take the spill path, and each migrates into the wheel at
+// most once. Geometry affects performance only — dispatch order is the
+// (at, seq) total order regardless.
+const (
+	bucketShift = 10
+	bucketWidth = Time(1) << bucketShift
+	numBuckets  = 256
+	bucketMask  = numBuckets - 1
+	wheelSpan   = bucketWidth * numBuckets
+)
+
+// slotSpill marks an event parked in the spill heap rather than a wheel
+// bucket. Values >= 0 are wheel bucket indices.
+const slotSpill = -1
+
 // event is the pooled storage behind a scheduled callback. Exactly one of
 // fn/afn is set; afn receives arg, which lets pre-bound callbacks avoid a
 // per-event closure allocation.
 type event struct {
-	at  Time
-	seq uint64 // tie-break for FIFO ordering of same-time events
-	gen uint64 // bumped on every recycle; validates Event handles
-	idx int    // heap index; -1 when not queued, idxMailbox when parked
+	at   Time
+	seq  uint64 // tie-break for FIFO ordering of same-time events
+	gen  uint64 // bumped on every recycle; validates Event handles
+	idx  int    // position in its container; -1 when not queued, idxMailbox when parked
+	slot int32  // wheel bucket index, or slotSpill; meaningful only when idx >= 0
 
 	fn  func()
 	afn func(any)
@@ -71,7 +104,7 @@ type event struct {
 // idxMailbox marks an event parked in its domain's cross-domain mailbox,
 // awaiting release at the next window barrier (see sharded.go). Its seq
 // was reserved at schedule time, so releasing it preserves same-time FIFO
-// order exactly as if it had been heap-inserted immediately.
+// order exactly as if it had been wheel-inserted immediately.
 const idxMailbox = -2
 
 // Event is a generational handle to a scheduled callback.
@@ -100,15 +133,15 @@ func (h Event) Cancel() {
 		eng.dom.unmail(ev)
 		return
 	}
-	eng.heapRemove(ev.idx)
+	eng.remove(ev)
 	if eng.dom != nil {
 		eng.dom.g.pend--
 	}
 	eng.recycle(ev)
 }
 
-// Pending reports whether the event is still queued (in a heap or parked
-// in a cross-domain mailbox).
+// Pending reports whether the event is still queued (in the wheel, the
+// spill heap, or parked in a cross-domain mailbox).
 func (h Event) Pending() bool {
 	return h.e != nil && h.e.gen == h.gen && h.e.idx != -1
 }
@@ -116,19 +149,32 @@ func (h Event) Pending() bool {
 // Engine is the discrete-event scheduler. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	clk     *Time    // clock to read/advance; &e.now standalone, group clock when sharded
-	seqp    *uint64  // sequence counter; &e.seq standalone, group counter when sharded
-	dom     *domain  // owning shard domain, nil standalone
-	queue   []*event // binary min-heap on (at, seq)
+	now  Time
+	seq  uint64
+	clk  *Time   // clock to read/advance; &e.now standalone, group clock when sharded
+	seqp *uint64 // sequence counter; &e.seq standalone, group counter when sharded
+	dom  *domain // owning shard domain, nil standalone
+
+	// Timing wheel: buckets[i] is a small (at, seq) min-heap of events
+	// with at in the bucket's fixed-width window; occ tracks non-empty
+	// buckets for O(words) next-bucket scans. base is the wheel window
+	// start (aligned to bucketWidth, advanced lazily from the clock);
+	// spill is the (at, seq) min-heap of events at or beyond base +
+	// wheelSpan. minEv caches the pending minimum; nil means recompute.
+	base    Time
+	buckets [numBuckets][]*event
+	occ     [numBuckets / 64]uint64
+	nbucket int // live events across all buckets
+	spill   []*event
+	minEv   *event
+
 	free    []*event // recycled event storage
 	stopped bool
 
 	// Executed counts events that have fired, for diagnostics.
 	Executed uint64
 
-	// MaxQueue is the high-water mark of the pending-event queue,
+	// MaxQueue is the high-water mark of the pending-event count,
 	// sampled at each dispatch. Cancelled events are removed eagerly and
 	// never counted. Sub-engines of a sharded group maintain the group's
 	// shared figure instead (Group.MaxQueue); this field stays zero there.
@@ -168,10 +214,11 @@ func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) Event {
 	if at < *e.clk {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, *e.clk))
 	}
+	e.sync()
 	ev := e.alloc()
 	ev.at, ev.fn, ev.afn, ev.arg, ev.seq = at, fn, afn, arg, *e.seqp
 	*e.seqp++
-	e.heapPush(ev)
+	e.push(ev)
 	if e.dom != nil {
 		e.dom.g.pend++
 	}
@@ -179,7 +226,7 @@ func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) Event {
 }
 
 // recycle invalidates outstanding handles to ev and returns its storage to
-// the free list. ev must not be in the heap.
+// the free list. ev must not be queued.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn, ev.afn, ev.arg = nil, nil, nil
@@ -226,34 +273,32 @@ func (e *Engine) AfterCall(d Duration, fn func(any), arg any) Event {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Empty reports whether no events remain. Cancelled events are removed
-// from the queue eagerly, so this is O(1).
-func (e *Engine) Empty() bool { return len(e.queue) == 0 }
+// from the wheel eagerly, so this is O(1).
+func (e *Engine) Empty() bool { return e.nbucket+len(e.spill) == 0 }
 
 // Queued returns the number of pending (live) events.
-func (e *Engine) Queued() int { return len(e.queue) }
+func (e *Engine) Queued() int { return e.nbucket + len(e.spill) }
 
 // step fires the next event. Returns false when the queue is exhausted or
 // only events beyond limit remain.
 func (e *Engine) step(limit Time) bool {
-	if len(e.queue) == 0 {
+	e.sync()
+	next := e.peek()
+	if next == nil || next.at > limit {
 		return false
 	}
-	next := e.queue[0]
-	if next.at > limit {
-		return false
-	}
-	e.heapPopMin()
 	if next.at < *e.clk {
-		panic("sim: event heap returned time in the past")
+		panic("sim: event wheel returned time in the past")
 	}
+	e.remove(next)
 	*e.clk = next.at
 	e.Executed++
 	// The queued figure sampled here (and handed to OnDispatch) is the
 	// number of live events still pending after this pop. Sharded, that is
-	// the group-wide count — heaps plus mailboxes — which byte-matches the
+	// the group-wide count — wheels plus mailboxes — which byte-matches the
 	// single-queue figure because dispatch order and every schedule/cancel
 	// point are identical (see sharded.go).
-	queued := len(e.queue)
+	queued := e.nbucket + len(e.spill)
 	if d := e.dom; d != nil {
 		d.g.pend--
 		queued = d.g.pend
@@ -300,12 +345,151 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunFor advances the simulation by d nanoseconds.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(*e.clk + d) }
 
-// --- event heap ------------------------------------------------------
+// --- timing wheel -----------------------------------------------------
 //
-// A hand-rolled binary min-heap on (at, seq). container/heap would box
-// every push through an interface value and indirect every comparison;
-// inlining the sift operations keeps the schedule->dispatch path free of
-// both.
+// Invariants. All live events have at >= *e.clk (dispatch fires the global
+// minimum and schedule rejects the past) and base <= *e.clk at all times,
+// so every bucket event's at lies in [base, base+wheelSpan) and every
+// spill event's at in [base+wheelSpan, ∞). The bucket index of a time is
+// (at >> bucketShift) & bucketMask — independent of base — so advancing
+// base never relocates bucket events; it only widens the window, after
+// which sync migrates newly covered spill events into their buckets.
+// Within one bucket the mini-heap orders by (at, seq); across buckets the
+// scan from the clock's slot visits strictly increasing time windows; and
+// the spill heap only surfaces when every bucket is empty, in which case
+// its (at, seq) minimum is the global one. Hence peek/pop realize the
+// exact single-heap total order.
+
+// sync advances the wheel base to the clock's bucket boundary and migrates
+// spill events that the wider window now covers. The clock is shared
+// group-wide when sharded, so other domains advance it between our steps;
+// base therefore catches up lazily here rather than at every clock write.
+func (e *Engine) sync() {
+	nb := (*e.clk >> bucketShift) << bucketShift
+	if nb <= e.base {
+		return
+	}
+	e.base = nb
+	lim := nb + wheelSpan
+	if lim < nb { // clock within wheelSpan of MaxTime: window covers everything
+		lim = MaxTime
+	}
+	for len(e.spill) > 0 && e.spill[0].at < lim {
+		ev := heapRemoveAt(&e.spill, 0)
+		e.bucketPush(ev)
+	}
+}
+
+// push files a live event into the wheel or the spill heap.
+func (e *Engine) push(ev *event) {
+	if ev.at-e.base >= wheelSpan {
+		ev.slot = slotSpill
+		ev.idx = len(e.spill)
+		e.spill = append(e.spill, ev)
+		heapUp(e.spill, ev.idx)
+	} else {
+		e.bucketPush(ev)
+	}
+	if e.minEv != nil && eventLess(ev, e.minEv) {
+		e.minEv = ev
+	}
+}
+
+// bucketPush files an event known to lie inside the wheel window.
+func (e *Engine) bucketPush(ev *event) {
+	slot := int(ev.at>>bucketShift) & bucketMask
+	ev.slot = int32(slot)
+	b := &e.buckets[slot]
+	ev.idx = len(*b)
+	*b = append(*b, ev)
+	heapUp(*b, ev.idx)
+	if len(*b) == 1 {
+		e.occ[slot>>6] |= 1 << (slot & 63)
+	}
+	e.nbucket++
+}
+
+// remove unfiles a live event from its container (wheel bucket or spill
+// heap). The caller recycles or re-files it.
+func (e *Engine) remove(ev *event) {
+	if ev == e.minEv {
+		e.minEv = nil
+	}
+	if ev.slot == slotSpill {
+		heapRemoveAt(&e.spill, ev.idx)
+		return
+	}
+	slot := int(ev.slot)
+	b := &e.buckets[slot]
+	heapRemoveAt(b, ev.idx)
+	if len(*b) == 0 {
+		e.occ[slot>>6] &^= 1 << (slot & 63)
+	}
+	e.nbucket--
+}
+
+// peek returns the pending event with the least (at, seq), or nil. The
+// result is cached until the minimum is popped, cancelled or displaced,
+// so the sharded merged-dispatch loop's repeated peeks are O(1).
+func (e *Engine) peek() *event {
+	if e.minEv != nil {
+		return e.minEv
+	}
+	if e.nbucket > 0 {
+		start := *e.clk
+		if start < e.base {
+			start = e.base
+		}
+		s := int(start>>bucketShift) & bucketMask
+		baseSlot := int(e.base>>bucketShift) & bucketMask
+		b := -1
+		if s >= baseSlot {
+			b = e.occScan(s, numBuckets-1)
+			if b < 0 && baseSlot > 0 {
+				b = e.occScan(0, baseSlot-1)
+			}
+		} else {
+			b = e.occScan(s, baseSlot-1)
+		}
+		if b < 0 {
+			panic("sim: wheel occupancy out of sync")
+		}
+		e.minEv = e.buckets[b][0]
+		return e.minEv
+	}
+	if len(e.spill) > 0 {
+		e.minEv = e.spill[0]
+		return e.minEv
+	}
+	return nil
+}
+
+// occScan returns the first occupied bucket slot in [from, to], or -1.
+// The caller decomposes ring wraparound into at most two linear scans.
+func (e *Engine) occScan(from, to int) int {
+	for w := from >> 6; w <= to>>6; w++ {
+		word := e.occ[w]
+		if w == from>>6 {
+			word &= ^uint64(0) << (from & 63)
+		}
+		if w == to>>6 {
+			word &= ^uint64(0) >> (63 - to&63)
+		}
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// --- per-container event heap ----------------------------------------
+//
+// A hand-rolled binary min-heap on (at, seq), shared by the per-bucket
+// mini-heaps and the spill heap. container/heap would box every push
+// through an interface value and indirect every comparison; inlining the
+// sift operations keeps the schedule->dispatch path free of both. Bucket
+// heaps hold only the events of one ~1 µs window, so sift depth is a
+// couple of levels over a cache-resident slice.
 
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
@@ -314,38 +498,28 @@ func eventLess(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-func (e *Engine) heapPush(ev *event) {
-	ev.idx = len(e.queue)
-	e.queue = append(e.queue, ev)
-	e.heapUp(ev.idx)
-}
-
-func (e *Engine) heapPopMin() *event {
-	return e.heapRemove(0)
-}
-
-// heapRemove removes and returns the event at heap index i.
-func (e *Engine) heapRemove(i int) *event {
-	q := e.queue
-	n := len(q) - 1
-	ev := q[i]
+// heapRemoveAt removes and returns the event at index i of heap *q,
+// clearing its idx.
+func heapRemoveAt(q *[]*event, i int) *event {
+	s := *q
+	n := len(s) - 1
+	ev := s[i]
 	if i != n {
-		q[i] = q[n]
-		q[i].idx = i
+		s[i] = s[n]
+		s[i].idx = i
 	}
-	q[n] = nil
-	e.queue = q[:n]
+	s[n] = nil
+	*q = s[:n]
 	if i != n {
-		if !e.heapDown(i) {
-			e.heapUp(i)
+		if !heapDown(s[:n], i) {
+			heapUp(s[:n], i)
 		}
 	}
 	ev.idx = -1
 	return ev
 }
 
-func (e *Engine) heapUp(i int) {
-	q := e.queue
+func heapUp(q []*event, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !eventLess(q[i], q[parent]) {
@@ -359,8 +533,7 @@ func (e *Engine) heapUp(i int) {
 }
 
 // heapDown sifts index i down; reports whether it moved.
-func (e *Engine) heapDown(i int) bool {
-	q := e.queue
+func heapDown(q []*event, i int) bool {
 	n := len(q)
 	start := i
 	for {

@@ -1,0 +1,239 @@
+package sim
+
+import "testing"
+
+// Differential test: the timing-wheel engine against a reference copy of
+// the binary min-heap it replaced. The reference implements the same
+// (at, seq) total order with the simplest possible structure — one heap,
+// no buckets, no spill, no free list — so any divergence in dispatch
+// order or handle behavior is the wheel's fault.
+
+// refEvent is a reference-queue entry.
+type refEvent struct {
+	at        Time
+	seq       uint64
+	id        int // trace-assigned identity, compared against the engine's dispatch log
+	cancelled bool
+}
+
+// refHeap is the pre-PR8 engine's event queue: a binary min-heap on
+// (at, seq) with eager removal on cancel.
+type refHeap struct {
+	now  Time
+	seq  uint64
+	q    []*refEvent
+	pos  map[*refEvent]int
+	live map[int]*refEvent // id -> live event, for cancel/pending queries
+}
+
+func newRefHeap() *refHeap {
+	return &refHeap{pos: make(map[*refEvent]int), live: make(map[int]*refEvent)}
+}
+
+func (r *refHeap) less(a, b *refEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (r *refHeap) schedule(at Time, id int) {
+	ev := &refEvent{at: at, seq: r.seq, id: id}
+	r.seq++
+	r.q = append(r.q, ev)
+	r.pos[ev] = len(r.q) - 1
+	r.up(len(r.q) - 1)
+	r.live[id] = ev
+}
+
+func (r *refHeap) cancel(id int) bool {
+	ev, ok := r.live[id]
+	if !ok {
+		return false
+	}
+	r.removeAt(r.pos[ev])
+	delete(r.live, id)
+	return true
+}
+
+func (r *refHeap) pending(id int) bool {
+	_, ok := r.live[id]
+	return ok
+}
+
+// pop removes and returns the next event id, or -1 if none at or before
+// limit.
+func (r *refHeap) pop(limit Time) int {
+	if len(r.q) == 0 || r.q[0].at > limit {
+		return -1
+	}
+	ev := r.removeAt(0)
+	r.now = ev.at
+	delete(r.live, ev.id)
+	return ev.id
+}
+
+func (r *refHeap) removeAt(i int) *refEvent {
+	ev := r.q[i]
+	n := len(r.q) - 1
+	if i != n {
+		r.q[i] = r.q[n]
+		r.pos[r.q[i]] = i
+	}
+	r.q = r.q[:n]
+	delete(r.pos, ev)
+	if i != n {
+		r.down(i)
+		r.up(i)
+	}
+	return ev
+}
+
+func (r *refHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !r.less(r.q[i], r.q[p]) {
+			break
+		}
+		r.q[i], r.q[p] = r.q[p], r.q[i]
+		r.pos[r.q[i]], r.pos[r.q[p]] = i, p
+		i = p
+	}
+}
+
+func (r *refHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(r.q) {
+			return
+		}
+		least := l
+		if rt := l + 1; rt < len(r.q) && r.less(r.q[rt], r.q[l]) {
+			least = rt
+		}
+		if !r.less(r.q[least], r.q[i]) {
+			return
+		}
+		r.q[i], r.q[least] = r.q[least], r.q[i]
+		r.pos[r.q[i]], r.pos[r.q[least]] = i, least
+		i = least
+	}
+}
+
+// TestEngineMatchesReferenceHeap drives random schedule/cancel/run traces
+// through the wheel engine and the reference heap in lockstep and asserts
+// identical dispatch order plus identical handle (Pending, stale-Cancel)
+// behavior. Delays are drawn across the wheel's interesting ranges: zero
+// (same-time FIFO), sub-bucket, bucket-straddling, beyond the wheel span
+// (spill migration), and bucket-aligned edge values.
+func TestEngineMatchesReferenceHeap(t *testing.T) {
+	delays := []func(rng *Rand) Time{
+		func(rng *Rand) Time { return 0 },
+		func(rng *Rand) Time { return Time(rng.Intn(int(bucketWidth))) },
+		func(rng *Rand) Time { return Time(rng.Intn(int(8 * bucketWidth))) },
+		func(rng *Rand) Time { return Time(rng.Intn(int(2 * wheelSpan))) },
+		func(rng *Rand) Time { return wheelSpan - bucketWidth + Time(rng.Intn(int(3*bucketWidth))) },
+		func(rng *Rand) Time { return Time(rng.Intn(64)) * bucketWidth },
+	}
+	for trace := 0; trace < 50; trace++ {
+		rng := NewRand(uint64(trace) + 1)
+		eng := NewEngine()
+		ref := newRefHeap()
+
+		var dispatched []int       // engine-side dispatch log, appended by callbacks
+		handles := map[int]Event{} // id -> engine handle (including stale ones)
+		nextID := 0
+
+		schedule := func() {
+			d := delays[rng.Intn(len(delays))](rng)
+			id := nextID
+			nextID++
+			handles[id] = eng.AtCall(eng.Now()+d, func(a any) {
+				dispatched = append(dispatched, a.(int))
+			}, id)
+			ref.schedule(eng.Now()+d, id)
+		}
+
+		// Seed the queues, then interleave ops with bounded runs.
+		for i := 0; i < 20; i++ {
+			schedule()
+		}
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				schedule()
+			case 4, 5:
+				// Cancel a random known id — live or stale. Both sides
+				// must agree on whether it was live.
+				if nextID == 0 {
+					continue
+				}
+				id := rng.Intn(nextID)
+				wasLive := ref.cancel(id)
+				if got := handles[id].Pending(); got != wasLive {
+					t.Fatalf("trace %d: Pending(%d) = %v before cancel, reference live = %v", trace, id, got, wasLive)
+				}
+				handles[id].Cancel()
+				if handles[id].Pending() {
+					t.Fatalf("trace %d: event %d Pending after Cancel", trace, id)
+				}
+			case 6:
+				// Pending probe on a random id must match the reference.
+				if nextID == 0 {
+					continue
+				}
+				id := rng.Intn(nextID)
+				if got, want := handles[id].Pending(), ref.pending(id); got != want {
+					t.Fatalf("trace %d: Pending(%d) = %v, reference = %v", trace, id, got, want)
+				}
+			default:
+				// Run a bounded slice of virtual time on both sides.
+				limit := eng.Now() + Time(rng.Intn(int(wheelSpan/2)))
+				start := len(dispatched)
+				eng.RunUntil(limit)
+				i := start
+				for {
+					id := ref.pop(limit)
+					if id < 0 {
+						break
+					}
+					if i >= len(dispatched) {
+						t.Fatalf("trace %d: engine dispatched %d events to %v, reference has more (next id %d)",
+							trace, len(dispatched)-start, limit, id)
+					}
+					if dispatched[i] != id {
+						t.Fatalf("trace %d: dispatch %d = id %d, reference id %d", trace, i, dispatched[i], id)
+					}
+					i++
+				}
+				if i != len(dispatched) {
+					t.Fatalf("trace %d: engine dispatched %d extra events past the reference", trace, len(dispatched)-i)
+				}
+			}
+		}
+		// Drain both completely and compare the tails id by id.
+		start := len(dispatched)
+		eng.Run()
+		i := start
+		for {
+			id := ref.pop(MaxTime)
+			if id < 0 {
+				break
+			}
+			if i >= len(dispatched) {
+				t.Fatalf("trace %d: final drain: engine stopped after %d events, reference has id %d next",
+					trace, len(dispatched)-start, id)
+			}
+			if dispatched[i] != id {
+				t.Fatalf("trace %d: final drain dispatch %d = id %d, reference id %d", trace, i, dispatched[i], id)
+			}
+			i++
+		}
+		if i != len(dispatched) {
+			t.Fatalf("trace %d: final drain: engine dispatched %d extra events", trace, len(dispatched)-i)
+		}
+		if !eng.Empty() || eng.Queued() != 0 {
+			t.Fatalf("trace %d: engine not empty after full drain", trace)
+		}
+	}
+}

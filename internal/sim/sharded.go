@@ -258,31 +258,32 @@ func (g *Group) Executed() uint64 {
 // exactly, so this equals Engine.MaxQueue at shards=1 byte-for-byte.
 func (g *Group) MaxQueue() int { return g.maxPend }
 
-// minAt returns the earliest pending event time across the domain heaps.
+// minAt returns the earliest pending event time across the domain wheels.
 func (g *Group) minAt() (Time, bool) {
 	var min Time
 	ok := false
 	for _, d := range g.domains {
-		if len(d.eng.queue) > 0 {
-			if at := d.eng.queue[0].at; !ok || at < min {
-				min, ok = at, true
+		if ev := d.eng.peek(); ev != nil {
+			if !ok || ev.at < min {
+				min, ok = ev.at, true
 			}
 		}
 	}
 	return min, ok
 }
 
-// flush releases every domain's mailbox into its heap. The parked events
-// kept their schedule-time seq, so heap order is as if they were inserted
-// immediately.
+// flush releases every domain's mailbox into its wheel. The parked events
+// kept their schedule-time seq, so dispatch order is as if they were
+// inserted immediately.
 func (g *Group) flush() {
 	for _, d := range g.domains {
 		if len(d.mbox) == 0 {
 			continue
 		}
+		d.eng.sync()
 		for i, ev := range d.mbox {
 			ev.idx = -1
-			d.eng.heapPush(ev)
+			d.eng.push(ev)
 			d.mbox[i] = nil
 		}
 		d.mbox = d.mbox[:0]
@@ -327,19 +328,21 @@ func (g *Group) run(until Time) {
 }
 
 // mergedStep dispatches events with at <= limit in global (at, seq) order
-// across the domain heaps — the exact single-engine order. The O(domains)
-// scan per event is the price of exactness; the win from sharding one
-// machine is the mailbox decoupling (and, across groups, real
+// across the domain wheels — the exact single-engine order. The
+// O(domains) peek scan per event is the price of exactness (each domain's
+// minimum is cached, so a peek is a pointer read); the win from sharding
+// one machine is the mailbox decoupling (and, across groups, real
 // parallelism), not this loop.
 func (g *Group) mergedStep(limit Time) {
 	for {
 		var bd *domain
+		var be *event
 		for _, d := range g.domains {
-			if len(d.eng.queue) > 0 && (bd == nil || eventLess(d.eng.queue[0], bd.eng.queue[0])) {
-				bd = d
+			if ev := d.eng.peek(); ev != nil && (be == nil || eventLess(ev, be)) {
+				bd, be = d, ev
 			}
 		}
-		if bd == nil || bd.eng.queue[0].at > limit {
+		if be == nil || be.at > limit {
 			break
 		}
 		g.cur = bd.id

@@ -9,13 +9,13 @@
 #   -quick  smoke mode for CI: only the engine hot-path and full-sweep
 #           benchmarks, output to /tmp unless an explicit path is given.
 #
-# The default output (BENCH_pr7.json) is the recorded artifact for the
-# env/auto-tuner PR; regenerate it on a quiet machine. Compare
+# The default output (BENCH_pr8.json) is the recorded artifact for the
+# timer-wheel/message-ring PR; regenerate it on a quiet machine. Compare
 # recordings with `ghost-bench -diff old.json new.json`.
 set -e
 
 PATTERN='.'
-OUT=BENCH_pr7.json
+OUT=BENCH_pr8.json
 if [ "$1" = "-quick" ]; then
 	shift
 	PATTERN='BenchmarkEngineSchedule|BenchmarkFullSweep'

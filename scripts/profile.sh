@@ -1,0 +1,43 @@
+#!/bin/sh
+# Profiling harness: runs a ghost command under -cpuprofile/-memprofile
+# and prints the top CPU consumers, so "where does the simulator spend
+# its time" is one command away.
+#
+# Usage:
+#   scripts/profile.sh [-out DIR] [ghost-bench -exp fig8-ablation -quick ...]
+#
+# With no command, profiles the default workload below. Profiles land in
+# DIR (default /tmp/ghost-profile) as cpu.pprof and mem.pprof; inspect
+# interactively with `go tool pprof <binary> DIR/cpu.pprof`, or slice by
+# experiment/job with -tagfocus (the commands label their work).
+set -e
+
+DIR=/tmp/ghost-profile
+if [ "$1" = "-out" ]; then
+	DIR=$2
+	shift 2
+fi
+mkdir -p "$DIR"
+
+if [ $# -eq 0 ]; then
+	set -- ghost-bench -exp fig6a -quick
+fi
+CMD=$1
+shift
+
+echo "profile: go run ./cmd/$CMD $* -> $DIR/{cpu,mem}.pprof"
+go run "./cmd/$CMD" "$@" -cpuprofile "$DIR/cpu.pprof" -memprofile "$DIR/mem.pprof"
+
+# Smoke-check the artifacts: an empty or missing profile means the stop
+# hook never ran, which is exactly the regression this guard is for.
+for p in cpu mem; do
+	if [ ! -s "$DIR/$p.pprof" ]; then
+		echo "profile: $DIR/$p.pprof is empty or missing" >&2
+		exit 1
+	fi
+done
+
+echo "== top CPU ($DIR/cpu.pprof)"
+go tool pprof -top -nodecount 15 "$DIR/cpu.pprof"
+echo "== top allocations ($DIR/mem.pprof)"
+go tool pprof -top -nodecount 10 -sample_index=alloc_space "$DIR/mem.pprof"
