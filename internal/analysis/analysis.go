@@ -27,6 +27,7 @@ import (
 	"go/token"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding, resolved to a file position.
@@ -48,11 +49,21 @@ func (d Diagnostic) String(dir string) string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. A check can run per package (Run), over
+// the whole loaded program at once (RunProgram, for the interprocedural
+// checks that need the call graph), or both — determinism does both: the
+// per-package pass flags direct violations in scoped packages, the
+// program pass chases taint through helpers in unscoped ones.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
+	// NeedsBuild marks analyzers that consume `go build` compiler
+	// diagnostics (hotpathescape). They are excluded from Analyzers()
+	// and opt in via the driver's -escape flag, because they cost a
+	// compile of the whole module.
+	NeedsBuild bool
 }
 
 // Pass gives an analyzer one package to inspect and a sink for findings.
@@ -72,7 +83,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in canonical order.
+// Program is the whole set of packages one Run covers, with the call
+// graph built lazily on first use and shared by every program-level
+// analyzer in the run.
+type Program struct {
+	Pkgs []*Package
+	// Escapes holds parsed `go build -gcflags=-m=2` diagnostics when the
+	// driver gathered them (ghost-lint -escape); nil otherwise, in which
+	// case NeedsBuild analyzers report nothing. EscapeBaseline is the
+	// accepted key set from internal/analysis/escape_baseline.txt.
+	Escapes        []EscapeDiag
+	EscapeBaseline map[string]bool
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// Graph returns the whole-program call graph, building it on first call.
+func (p *Program) Graph() *CallGraph {
+	p.graphOnce.Do(func() { p.graph = NewCallGraph(p.Pkgs) })
+	return p.graph
+}
+
+// ProgramPass gives a program-level analyzer the whole program and a
+// sink for findings.
+type ProgramPass struct {
+	Prog   *Program
+	check  string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos, resolved through the shared FileSet.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	if len(p.Prog.Pkgs) == 0 {
+		return
+	}
+	p.ReportAt(p.Prog.Pkgs[0].Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an already-resolved position (compiler
+// diagnostics arrive as positions, not token.Pos).
+func (p *ProgramPass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{Check: p.check, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns the default suite in canonical order. The
+// build-consuming hotpathescape check is not part of the default suite;
+// AllAnalyzers includes it.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -80,12 +137,18 @@ func Analyzers() []*Analyzer {
 		HotPathAllocAnalyzer,
 		EventHandleAnalyzer,
 		APISurfaceAnalyzer,
+		ShardSafetyAnalyzer,
 	}
+}
+
+// AllAnalyzers returns every analyzer, including the NeedsBuild ones.
+func AllAnalyzers() []*Analyzer {
+	return append(Analyzers(), HotPathEscapeAnalyzer)
 }
 
 // ByName resolves an analyzer from the suite, nil if unknown.
 func ByName(name string) *Analyzer {
-	for _, a := range Analyzers() {
+	for _, a := range AllAnalyzers() {
 		if a.Name == name {
 			return a
 		}
@@ -107,16 +170,25 @@ type Result struct {
 // Run executes the analyzers over the packages, applies per-file
 // suppressions, and returns the sorted findings.
 func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	return RunProgram(&Program{Pkgs: pkgs}, analyzers)
+}
+
+// RunProgram is Run with a caller-built Program (the driver uses it to
+// attach compiler escape diagnostics for the NeedsBuild analyzers).
+// Per-file suppressions are collected across all packages before any
+// analyzer runs, so a program-level finding is waivable by a directive
+// in the file it points at, whichever package the taint root lives in.
+func RunProgram(prog *Program, analyzers []*Analyzer) *Result {
 	res := &Result{Found: map[string]int{}, Suppressed: map[string]int{}}
 	known := map[string]bool{}
-	for _, a := range Analyzers() {
+	for _, a := range AllAnalyzers() {
 		known[a.Name] = true
 	}
-	for _, pkg := range pkgs {
-		// suppressions: filename -> check -> reason. Malformed
-		// directives surface as "ghostlint" diagnostics (never
-		// suppressible, or a typoed waiver would silence itself).
-		sup := map[string]map[string]string{}
+	// suppressions: filename -> check -> reason. Malformed directives
+	// surface as "ghostlint" diagnostics (never suppressible, or a
+	// typoed waiver would silence itself).
+	sup := map[string]map[string]string{}
+	for _, pkg := range prog.Pkgs {
 		for i, f := range pkg.Files {
 			name := pkg.Filenames[i]
 			sup[name] = fileSuppressions(pkg.Fset, f, known, func(d Diagnostic) {
@@ -124,24 +196,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 				res.Found[d.Check]++
 			})
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Pkg:   pkg,
-				fset:  pkg.Fset,
-				check: a.Name,
-				report: func(d Diagnostic) {
-					if reasons := sup[d.Pos.Filename]; reasons != nil {
-						if _, ok := reasons[d.Check]; ok {
-							res.Suppressed[d.Check]++
-							return
-						}
-					}
-					res.Diagnostics = append(res.Diagnostics, d)
-					res.Found[d.Check]++
-				},
+	}
+	report := func(d Diagnostic) {
+		if reasons := sup[d.Pos.Filename]; reasons != nil {
+			if _, ok := reasons[d.Check]; ok {
+				res.Suppressed[d.Check]++
+				return
 			}
-			a.Run(pass)
 		}
+		res.Diagnostics = append(res.Diagnostics, d)
+		res.Found[d.Check]++
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, fset: pkg.Fset, check: a.Name, report: report})
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a.RunProgram(&ProgramPass{Prog: prog, check: a.Name, report: report})
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i], res.Diagnostics[j]

@@ -65,19 +65,36 @@ func collectWants(pkg *Package) []*expectation {
 	return wants
 }
 
-// runFixture loads one testdata package and checks its diagnostics
-// exactly match its `want` annotations.
-func runFixture(t *testing.T, dir, importPath string, wantSuppressed map[string]int) {
+// fixtureDir names one testdata directory and the import path it is
+// type-checked under.
+type fixtureDir struct{ dir, importPath string }
+
+// loadFixtures loads testdata packages in order (dependencies first, so
+// cross-fixture imports resolve through the loader's registry).
+func loadFixtures(t *testing.T, l *Loader, dirs []fixtureDir) []*Package {
 	t.Helper()
-	pkg, err := sharedLoader().LoadDir(filepath.Join("testdata", dir), importPath)
-	if err != nil {
-		t.Fatalf("LoadDir(%s): %v", dir, err)
+	var pkgs []*Package
+	for _, fd := range dirs {
+		pkg, err := l.LoadDir(filepath.Join("testdata", fd.dir), fd.importPath)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", fd.dir, err)
+		}
+		for _, e := range pkg.Errs {
+			t.Errorf("fixture %s: load error: %v", fd.dir, e)
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	for _, e := range pkg.Errs {
-		t.Errorf("fixture %s: load error: %v", dir, e)
+	return pkgs
+}
+
+// checkFixtureResult matches a run's diagnostics against the fixtures'
+// `want` annotations, exactly.
+func checkFixtureResult(t *testing.T, pkgs []*Package, res *Result, wantSuppressed map[string]int) {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(pkg)...)
 	}
-	res := Run([]*Package{pkg}, Analyzers())
-	wants := collectWants(pkg)
 	for _, d := range res.Diagnostics {
 		matched := false
 		for _, w := range wants {
@@ -93,14 +110,30 @@ func runFixture(t *testing.T, dir, importPath string, wantSuppressed map[string]
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("missing diagnostic at %s line %d: %s %q", dir, w.line, w.check, w.substr)
+			t.Errorf("missing diagnostic at line %d: %s %q", w.line, w.check, w.substr)
 		}
 	}
 	for check, n := range wantSuppressed {
 		if got := res.Suppressed[check]; got != n {
-			t.Errorf("%s: suppressed[%s] = %d, want %d", dir, check, got, n)
+			t.Errorf("suppressed[%s] = %d, want %d", check, got, n)
 		}
 	}
+}
+
+// runFixtures loads the testdata packages and checks their combined
+// diagnostics against the `want` annotations.
+func runFixtures(t *testing.T, dirs []fixtureDir, wantSuppressed map[string]int) *Result {
+	t.Helper()
+	pkgs := loadFixtures(t, sharedLoader(), dirs)
+	res := Run(pkgs, Analyzers())
+	checkFixtureResult(t, pkgs, res, wantSuppressed)
+	return res
+}
+
+// runFixture is the single-package form.
+func runFixture(t *testing.T, dir, importPath string, wantSuppressed map[string]int) {
+	t.Helper()
+	runFixtures(t, []fixtureDir{{dir, importPath}}, wantSuppressed)
 }
 
 func TestDeterminismFixture(t *testing.T) {
@@ -155,7 +188,7 @@ func TestMalformedDirectives(t *testing.T) {
 // hold itself to the conventions it enforces.
 func TestSelfClean(t *testing.T) {
 	root := moduleRoot(t)
-	pkgs, err := NewLoader(root).Load("./internal/analysis", "./cmd/ghost-lint")
+	pkgs, err := NewLoader(root).Load("./internal/analysis", "./internal/cli", "./cmd/ghost-lint")
 	if err != nil {
 		t.Fatal(err)
 	}

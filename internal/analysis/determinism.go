@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strconv"
 	"strings"
@@ -11,13 +12,35 @@ import (
 // state from simulation code. Every latency in the reproduction is
 // virtual time drawn from the engine clock, and every stochastic choice
 // draws from an explicitly seeded *sim.Rand (internal/sim/rand.go);
-// time.Now or rand.Intn anywhere under the scoped packages would let
-// host wall-clock jitter or unseeded randomness perturb a run that must
-// be bit-reproducible for its seed.
+// time.Now or rand.Intn anywhere reachable from the scoped packages
+// would let host wall-clock jitter or unseeded randomness perturb a run
+// that must be bit-reproducible for its seed.
+//
+// The check runs in two passes over the same source model:
+//
+//   - per package (Run): direct violations inside the scoped packages —
+//     banned time.* calls and math/rand imports — exactly where they
+//     appear;
+//   - whole program (RunProgram): taint over the call graph. Every
+//     function declared in a scoped package is a root (that set contains
+//     the sim-callback sinks — sim.Scheduler callbacks, Policy.Schedule
+//     implementations, oracle observers, workload generators — plus
+//     everything else that executes inside a run), and any function a
+//     root transitively reaches, in whatever package, is scanned for the
+//     same sources. A hit is reported with the full witness call chain,
+//     so a helper two hops away in an unscoped package no longer
+//     escapes. Map-iteration-order escapes, the third nondeterminism
+//     source, stay with the module-wide maporder check, which already
+//     covers every package without needing reachability.
+//
+// Packages whose wall-clock use is legitimate (trace annotation,
+// experiment runners, the tuner's wall budget, this linter, cmd/ and
+// examples/ mains) are exempt: taint neither enters nor flags them.
 var DeterminismAnalyzer = &Analyzer{
-	Name: "determinism",
-	Doc:  "flags wall-clock (time.Now/Since/...) and global or unseeded math/rand in sim code",
-	Run:  runDeterminism,
+	Name:       "determinism",
+	Doc:        "flags wall-clock (time.Now/Since/...) and global or unseeded math/rand reachable from sim code, with call paths",
+	Run:        runDeterminism,
+	RunProgram: runDeterminismProgram,
 }
 
 // determinismScope lists the package subtrees the check polices: the
@@ -105,6 +128,83 @@ func runDeterminism(p *Pass) {
 			return true
 		})
 	}
+}
+
+// determinismExempt lists the packages taint must not enter: their
+// wall-clock use is deliberate and they never execute inside the
+// simulation loop. (They are also outside determinismScope, so the
+// per-package pass skips them already.)
+func determinismExempt(importPath string) bool {
+	for _, s := range []string{"trace", "experiments", "tune", "analysis", "cli"} {
+		if inPkgSegment(importPath, "/internal/"+s) {
+			return true
+		}
+	}
+	return strings.HasPrefix(importPath, "cmd/") ||
+		strings.Contains(importPath, "/cmd/") ||
+		strings.HasPrefix(importPath, "examples/") ||
+		strings.Contains(importPath, "/examples/")
+}
+
+// runDeterminismProgram is the interprocedural half: reachability from
+// every scoped-package function, scanning reached out-of-scope functions
+// for the banned sources and reporting the witness call chain.
+func runDeterminismProgram(p *ProgramPass) {
+	g := p.Prog.Graph()
+	var roots []*FuncNode
+	for _, n := range g.Nodes {
+		if n.Pkg != nil && inDeterminismScope(n.Pkg.ImportPath) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	r := Reach(roots, func(n *FuncNode) bool {
+		// External (unloaded) functions are terminal, and exempt
+		// packages are opaque: a call into them is not a violation and
+		// their own wall-clock use is not flagged.
+		return n.Pkg != nil && !determinismExempt(n.Pkg.ImportPath)
+	})
+	for _, n := range r.Reached() {
+		if inDeterminismScope(n.Pkg.ImportPath) {
+			continue // direct violations there belong to the per-package pass
+		}
+		if n.Body() == nil {
+			continue
+		}
+		path := FormatPath(r.PathTo(n))
+		scanDeterminismSources(n, func(pos token.Pos, what string) {
+			p.Reportf(pos, "%s in %s, reachable from sim code: %s",
+				what, n.Label, path)
+		})
+	}
+}
+
+// scanDeterminismSources walks one function body (literals excluded —
+// they are their own nodes) and reports each banned source.
+func scanDeterminismSources(n *FuncNode, report func(pos token.Pos, what string)) {
+	info := n.Pkg.Info
+	WalkNodeBody(n.Body(), func(node ast.Node) {
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			if kind, banned := bannedTimeFuncs[node.Sel.Name]; banned && isTimePackageRef(info, node, nil) {
+				report(node.Pos(), "time."+node.Sel.Name+": "+kind)
+			}
+		case *ast.Ident:
+			obj := objectOf(info, node)
+			if obj == nil || obj.Pkg() == nil {
+				return
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if _, isPkgName := obj.(*types.PkgName); isPkgName {
+					return // the import name itself; the use sites report
+				}
+				report(node.Pos(), "math/rand."+obj.Name()+": global or unseeded rand")
+			}
+		}
+	})
 }
 
 // isTimePackageRef reports whether sel selects from package time,

@@ -275,8 +275,23 @@ func (pi *pkgImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.
 // the given import path, without consulting `go list` for the directory
 // itself. The analyzer test fixtures live in testdata/ (invisible to go
 // list patterns) and are loaded through this; their imports of real
-// module packages and of the standard library resolve normally.
+// module packages and of the standard library resolve normally. The
+// checked package is registered under its import path, so a later
+// LoadDir can import an earlier one — multi-package fixtures load their
+// dependency directories first. A path already registered returns the
+// cached package.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	l.mu.Lock()
+	if n, ok := l.nodes[importPath]; ok {
+		l.mu.Unlock()
+		<-n.done
+		return n.pkg, nil
+	}
+	n := &node{done: make(chan struct{}), started: true}
+	l.nodes[importPath] = n
+	l.mu.Unlock()
+	defer close(n.done)
+
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -299,5 +314,6 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		pkg.Filenames = append(pkg.Filenames, path)
 	}
 	l.typecheck(pkg)
+	n.pkg = pkg
 	return pkg, nil
 }

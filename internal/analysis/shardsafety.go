@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShardSafetyAnalyzer is the static complement to the sharded engine's
+// window-barrier determinism argument (DESIGN.md §3g). Under
+// ghost.WithShards the kernel's CPUs are partitioned across sub-engines;
+// the dynamic discipline that keeps runs byte-identical is that code
+// running as a per-domain dispatch callback only touches its own
+// domain's state, and hands work for another CPU to that CPU's owning
+// scheduler (Kernel.SchedulerFor / DomainRouter.DomainFor), whose
+// mailbox parks cross-domain posts at the window edge.
+//
+// The check finds the two shapes that break it, in any function
+// transitively reachable from a dispatch root:
+//
+//	(a) an AtCall/AfterCall that posts per-CPU-owned work (an argument
+//	    of type kernel.CPU / kernel.Thread) on the root engine — a
+//	    `.eng` field or a Kernel.Scheduler() result — instead of the
+//	    owning per-CPU scheduler. Under sharding the root engine is
+//	    domain 0's sub-engine, so such an event fires on the wrong
+//	    timeline and the merged stream changes with the shard count.
+//	(b) a direct indexed write through the kernel's per-CPU tables
+//	    (Kernel.cpus[i], Kernel.cpuSched[i]). Dispatch code owns one
+//	    domain; mutating the table slot of an arbitrary CPU bypasses the
+//	    mailbox seam. (Taking a local copy first — c := k.cpus[id];
+//	    c.x = ... — is the sanctioned in-domain pattern and is not
+//	    flagged; construction-time writes in Kernel.New are fine because
+//	    New is not reachable from any dispatch root.)
+//
+// Dispatch roots are the functions the kernel/ghostcore layers register
+// as scheduler callbacks: functions bound into `...Fn` fields or
+// package-level `...Fn` variables of sim-scoped packages (the
+// hotpathalloc-enforced bind-once callback idiom), plus function
+// literals passed directly to a scheduler's At/AtCall/After/AfterCall.
+var ShardSafetyAnalyzer = &Analyzer{
+	Name:       "shardsafety",
+	Doc:        "flags cross-domain posts and per-CPU table writes reachable from dispatch callbacks",
+	RunProgram: runShardSafety,
+}
+
+func runShardSafety(p *ProgramPass) {
+	g := p.Prog.Graph()
+	rootSet := map[*FuncNode]bool{}
+	for _, v := range g.FnBindVars() {
+		if !strings.HasSuffix(v.Name(), "Fn") || v.Pkg() == nil || !inDeterminismScope(v.Pkg().Path()) {
+			continue
+		}
+		for _, fn := range g.FieldBindings(v) {
+			rootSet[fn] = true
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Body() == nil {
+			continue
+		}
+		WalkNodeBody(n.Body(), func(node ast.Node) {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			switch calleeName(call) {
+			case "At", "AtCall", "After", "AfterCall", "schedule":
+			default:
+				return
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					if ln := g.LitNodeOf(lit); ln != nil {
+						rootSet[ln] = true
+					}
+				}
+			}
+		})
+	}
+	var roots []*FuncNode
+	for _, n := range g.Nodes { // canonical order; rootSet alone is unordered
+		if rootSet[n] {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	r := Reach(roots, func(n *FuncNode) bool { return n.Pkg != nil })
+	for _, n := range r.Reached() {
+		if n.Body() == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		path := FormatPath(r.PathTo(n))
+		via := ""
+		if path != "" {
+			via = " (dispatch path: " + path + ")"
+		}
+		WalkNodeBody(n.Body(), func(node ast.Node) {
+			switch node := node.(type) {
+			case *ast.CallExpr:
+				if argType, bad := crossDomainPost(info, node); bad {
+					p.Reportf(node.Pos(),
+						"%s posts per-CPU work (%s) on the root engine; use Kernel.SchedulerFor/DomainRouter.DomainFor so the owning domain's mailbox sequences it%s",
+						calleeName(node), argType, via)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					if table, bad := kernelTableWrite(info, lhs); bad {
+						p.Reportf(lhs.Pos(),
+							"dispatch-reachable code writes Kernel.%s[...] directly; other-domain state must be reached through the owning scheduler's mailbox%s",
+							table, via)
+					}
+				}
+			case *ast.IncDecStmt:
+				if table, bad := kernelTableWrite(info, node.X); bad {
+					p.Reportf(node.X.Pos(),
+						"dispatch-reachable code writes Kernel.%s[...] directly; other-domain state must be reached through the owning scheduler's mailbox%s",
+						table, via)
+				}
+			}
+		})
+	}
+}
+
+// crossDomainPost reports whether call is an AtCall/AfterCall carrying a
+// per-CPU-owned argument on a recognizably non-owning scheduler.
+func crossDomainPost(info *types.Info, call *ast.CallExpr) (argType string, bad bool) {
+	name := calleeName(call)
+	if name != "AtCall" && name != "AfterCall" || len(call.Args) != 3 {
+		return "", false
+	}
+	argType = perCPUOwnedType(info, call.Args[2])
+	if argType == "" {
+		return "", false
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return argType, nonOwningScheduler(fun.X)
+}
+
+// nonOwningScheduler recognizes the root-engine shapes: the kernel's
+// `.eng` field and the Kernel.Scheduler() accessor. Per-CPU shapes
+// (SchedulerFor(...), DomainFor(...), cpuSched[i], or a local already
+// holding one) are left alone, as is anything unrecognized.
+func nonOwningScheduler(recv ast.Expr) bool {
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		return r.Sel.Name == "eng"
+	case *ast.CallExpr:
+		return calleeName(r) == "Scheduler"
+	case *ast.ParenExpr:
+		return nonOwningScheduler(r.X)
+	}
+	return false
+}
+
+// perCPUOwnedType returns the rendered type when e's static type is a
+// (pointer to) kernel.CPU or kernel.Thread — the state the sharded
+// engine partitions by domain — or "" otherwise.
+func perCPUOwnedType(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		ptr = "*"
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Name() != "CPU" && obj.Name() != "Thread" {
+		return ""
+	}
+	if obj.Pkg() == nil || !inPkgSegment(obj.Pkg().Path(), "/internal/kernel") {
+		return ""
+	}
+	return ptr + "kernel." + obj.Name()
+}
+
+// kernelTableWrite reports whether lhs writes directly through one of
+// the kernel's per-CPU tables: Kernel.cpus[i] = / Kernel.cpuSched[i] =
+// or a field write through Kernel.cpus[i].field.
+func kernelTableWrite(info *types.Info, lhs ast.Expr) (table string, bad bool) {
+	switch lhs := lhs.(type) {
+	case *ast.IndexExpr:
+		if f := kernelTableField(info, lhs.X); f != "" {
+			return f, true
+		}
+	case *ast.SelectorExpr:
+		if ix, ok := lhs.X.(*ast.IndexExpr); ok {
+			if f := kernelTableField(info, ix.X); f != "" {
+				return f, true
+			}
+		}
+	}
+	return "", false
+}
+
+// kernelTableField resolves e to a `cpus` or `cpuSched` field of a type
+// named Kernel in a kernel package, returning the field name.
+func kernelTableField(info *types.Info, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || (v.Name() != "cpus" && v.Name() != "cpuSched") {
+		return ""
+	}
+	rt := s.Recv()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	n, ok := rt.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Name() != "Kernel" || obj.Pkg() == nil || !inPkgSegment(obj.Pkg().Path(), "/internal/kernel") {
+		return ""
+	}
+	return v.Name()
+}

@@ -1,0 +1,26 @@
+// Package esfix is the hotpathescape fixture: a stand-in sim Engine
+// whose schedule path reaches a heap escape. The test fabricates the
+// compiler diagnostics (the real check parses `go build -gcflags=-m=2`
+// output) at the `escape:`-marked lines below and asserts that only the
+// escape reachable from the benchmark root survives the baseline.
+package esfix
+
+// Event is the pooled hot-path object.
+type Event struct{ t int64 }
+
+// Engine mirrors sim.Engine's benchmark-root surface.
+type Engine struct{ evs []*Event }
+
+// schedule is a 0-alloc benchmark root (matched by receiver Engine and
+// an /internal/sim package path).
+func (e *Engine) schedule(t int64) { e.grow(t) }
+
+func (e *Engine) grow(t int64) {
+	ev := &Event{t: t} // escape: &Event{...} escapes to heap
+	e.evs = append(e.evs, ev)
+}
+
+// Cold is not reachable from any benchmark root; its escape is ignored.
+func Cold() *Event {
+	return &Event{} // escape: &Event{} escapes to heap
+}

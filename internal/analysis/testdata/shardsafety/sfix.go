@@ -1,0 +1,87 @@
+// Package sfix reproduces the cross-domain-post bug shape that the
+// sharded engine's tests guard dynamically (DESIGN.md §3g): a dispatch
+// callback that posts per-CPU work on the root engine instead of the
+// owning domain's scheduler, and one that writes another CPU's table
+// slot directly. The clean variants — SchedulerFor posts, the local-copy
+// write pattern, construction-time table writes in New — must stay
+// silent.
+package sfix
+
+// Scheduler mirrors the sim.Scheduler posting surface.
+type Scheduler interface {
+	AtCall(at int64, fn func(any), arg any) int
+	AfterCall(d int64, fn func(any), arg any) int
+}
+
+// CPU and Thread are the per-domain-owned state; the check recognizes
+// them by name within an /internal/kernel package.
+type CPU struct {
+	ID      int
+	pending bool
+}
+
+type Thread struct{ cpu int }
+
+type Kernel struct {
+	eng      Scheduler
+	cpus     []*CPU
+	cpuSched []Scheduler
+	wakeFn   func(any)
+}
+
+// New wires the dispatch callbacks; its direct table writes are
+// construction, not dispatch, and are not flagged (New is unreachable
+// from any dispatch root).
+func New(eng Scheduler, n int) *Kernel {
+	k := &Kernel{eng: eng}
+	k.cpus = make([]*CPU, n)
+	k.cpuSched = make([]Scheduler, n)
+	for i := 0; i < n; i++ {
+		k.cpus[i] = &CPU{ID: i}
+		k.cpuSched[i] = eng
+	}
+	k.wakeFn = k.wake // dispatch-root binding: wake runs as a callback
+	return k
+}
+
+// SchedulerFor returns CPU id's owning scheduler — the sanctioned seam.
+func (k *Kernel) SchedulerFor(id int) Scheduler {
+	if id >= 0 && id < len(k.cpuSched) {
+		return k.cpuSched[id]
+	}
+	return k.eng
+}
+
+// wake is a dispatch root (bound into wakeFn above).
+func (k *Kernel) wake(a any) {
+	k.requeue(a.(*Thread))
+}
+
+// requeue is one hop below the dispatch root: everything here runs in
+// dispatch context.
+func (k *Kernel) requeue(t *Thread) {
+	k.eng.AfterCall(1, k.wakeFn, t) // want shardsafety "AfterCall posts per-CPU work (*kernel.Thread) on the root engine"
+
+	k.cpus[t.cpu].pending = true // want shardsafety "writes Kernel.cpus[...] directly"
+
+	// Clean: posting on the owning domain's scheduler.
+	k.SchedulerFor(t.cpu).AfterCall(1, k.wakeFn, t)
+
+	// Clean: the local-copy pattern for in-domain state.
+	c := k.cpus[t.cpu]
+	c.pending = true
+}
+
+// tickStagger shows the closure-root shape: a literal handed to a
+// scheduler is itself dispatch context.
+func (k *Kernel) tickStagger() {
+	k.cpuSched[0].AtCall(5, func(a any) { // want hotpathalloc "closure literal passed to AtCall"
+		k.cpuSched[1] = nil // want shardsafety "writes Kernel.cpuSched[...] directly"
+	}, nil)
+}
+
+// coldPath never runs as a callback: the same shapes are fine here.
+func (k *Kernel) coldPath(t *Thread) {
+	k.eng.AfterCall(1, k.wakeFn, t)
+	k.cpus[0] = nil
+}

@@ -1,0 +1,14 @@
+// Package tfix is determinism-scoped (…/internal/kernel/…), so every
+// function declared here is a root of the interprocedural taint pass.
+// It is itself clean — the violations live two hops away in the
+// unscoped fixturemod/taintutil package, where only whole-program
+// reachability can find them.
+package tfix
+
+import "fixturemod/taintutil"
+
+// Tick stands in for a kernel dispatch callback.
+func Tick() int64 { return taintutil.Jitter() }
+
+// Roll stands in for a policy decision helper.
+func Roll() int { return taintutil.Draw() }

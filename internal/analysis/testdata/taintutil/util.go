@@ -1,0 +1,30 @@
+// Package taintutil is a helper package OUTSIDE the determinism scope
+// (no /internal/<sim pkg> segment in its import path): the old
+// syntactic check never looked inside it. The taint fixture's root
+// package (testdata/taint) reaches into it, so its wall-clock and
+// global-rand uses must be reported interprocedurally — with the full
+// call chain — while the functions sim code never reaches stay silent.
+package taintutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is hop 1 of the planted ≥2-hop violation chain.
+func Jitter() int64 { return wallNow() % 7 }
+
+// wallNow is hop 2: the actual wall-clock read.
+func wallNow() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now: wall-clock read in taintutil.wallNow, reachable from sim code: tfix.Tick -> taintutil.Jitter"
+}
+
+// Draw reaches the global math/rand state one hop down.
+func Draw() int { return rollDice() }
+
+func rollDice() int {
+	return rand.Intn(6) // want determinism "math/rand.Intn: global or unseeded rand in taintutil.rollDice"
+}
+
+// Unreached is never called from sim code; its clock read is fine here.
+func Unreached() time.Time { return time.Now() }

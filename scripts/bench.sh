@@ -9,13 +9,15 @@
 #   -quick  smoke mode for CI: only the engine hot-path and full-sweep
 #           benchmarks, output to /tmp unless an explicit path is given.
 #
-# The default output (BENCH_pr8.json) is the recorded artifact for the
-# timer-wheel/message-ring PR; regenerate it on a quiet machine. Compare
-# recordings with `ghost-bench -diff old.json new.json`.
+# The default output (BENCH_pr9.json) is the current recorded artifact
+# (the PR 8 timer-wheel recording was never committed — the BENCH_*.json
+# gitignore rule swallowed it — so PR 9 re-recorded and re-pointed the
+# gate); regenerate on a quiet machine and compare recordings with
+# `ghost-bench -diff old.json new.json`.
 set -e
 
 PATTERN='.'
-OUT=BENCH_pr8.json
+OUT=BENCH_pr9.json
 if [ "$1" = "-quick" ]; then
 	shift
 	PATTERN='BenchmarkEngineSchedule|BenchmarkFullSweep'

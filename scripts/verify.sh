@@ -17,8 +17,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== ghost-lint ./... (determinism, maporder, hotpathalloc, eventhandle)"
-go run ./cmd/ghost-lint -summary ./...
+echo "== ghost-lint -escape ./... (determinism taint, maporder, hotpathalloc, eventhandle, apisurface, shardsafety, hotpathescape)"
+go run ./cmd/ghost-lint -escape -summary ./...
 
 echo "== go test ./..."
 go test ./...
@@ -58,8 +58,8 @@ go run ./cmd/ghost-bench -diff BENCH_pr3.json /tmp/bench_quick.json
 echo "== bench recording gate (pr6 -> pr7 full artifacts)"
 go run ./cmd/ghost-bench -diff BENCH_pr6.json BENCH_pr7.json
 
-echo "== bench recording gate (pr7 -> pr8 full artifacts)"
-go run ./cmd/ghost-bench -diff BENCH_pr7.json BENCH_pr8.json
+echo "== bench recording gate (pr7 -> pr9 full artifacts)"
+go run ./cmd/ghost-bench -diff BENCH_pr7.json BENCH_pr9.json
 
 echo "== profile smoke (-cpuprofile/-memprofile produce non-empty pprof)"
 sh scripts/profile.sh -out /tmp/ghost-profile-verify ghost-bench -exp fig6a -quick >/dev/null
