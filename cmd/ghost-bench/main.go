@@ -7,6 +7,7 @@
 //	ghost-bench -exp fig6a
 //	ghost-bench -exp all -quick
 //	ghost-bench -exp fig8-ablation -shards 4
+//	ghost-bench -exp fig5 -quick -snapshot-every 5ms  # restore-transparency smoke
 //	ghost-bench -diff BENCH_old.json BENCH_new.json
 //
 // Each experiment prints an aligned text table with the paper's numbers
@@ -23,6 +24,7 @@ import (
 
 	"ghost/internal/cli"
 	"ghost/internal/experiments"
+	"ghost/internal/sim"
 )
 
 func main() { os.Exit(realMain()) }
@@ -41,8 +43,14 @@ func realMain() int {
 	c.ParallelFlag(flag.CommandLine)
 	c.ShardsFlag(flag.CommandLine)
 	c.QuickFlag(flag.CommandLine, "shrink durations/sweeps for a fast pass")
+	c.SnapshotFlags(flag.CommandLine)
 	c.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if c.Restore != "" {
+		fmt.Fprintln(os.Stderr, "ghost-bench: experiments are generated, not restored; -restore belongs to ghost-sim/ghost-check")
+		return 2
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {
@@ -77,7 +85,10 @@ func realMain() int {
 	}
 	defer stop()
 
-	opts := experiments.Options{Quick: c.Quick, Seed: c.Seed, Parallel: c.Parallel, Shards: c.Shards}
+	opts := experiments.Options{
+		Quick: c.Quick, Seed: c.Seed, Parallel: c.Parallel, Shards: c.Shards,
+		SnapshotEvery: sim.Duration(c.SnapshotEvery),
+	}
 	for _, e := range todo {
 		e := e
 		// Label each experiment's samples so one -cpuprofile over -exp all

@@ -25,6 +25,7 @@ import (
 	"ghost/internal/cli"
 	"ghost/internal/experiments"
 	"ghost/internal/sim"
+	"ghost/internal/snap"
 )
 
 func main() { os.Exit(realMain()) }
@@ -44,8 +45,14 @@ func realMain() int {
 	c.ParallelFlag(flag.CommandLine)
 	c.ShardsFlag(flag.CommandLine)
 	c.QuickFlag(flag.CommandLine, "halve every scenario horizon (CI smoke mode)")
+	c.SnapshotFlags(flag.CommandLine)
 	c.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if (c.SnapshotEvery > 0 || c.Restore != "") && *repro == "" {
+		fmt.Fprintln(os.Stderr, "ghost-check: -snapshot-every/-restore need a single scenario; use -repro")
+		return 2
+	}
 
 	if *mutate != "" && !contains(check.MutationNames(), *mutate) {
 		fmt.Fprintf(os.Stderr, "ghost-check: unknown mutation %q (want one of %s)\n",
@@ -71,6 +78,12 @@ func realMain() int {
 		}
 		if c.Shards > 0 {
 			s.Shards = c.Shards
+		}
+		if c.Restore != "" {
+			return reproFromFile(s, c.Restore)
+		}
+		if c.SnapshotEvery > 0 {
+			return reproWithRewind(s, sim.Duration(c.SnapshotEvery))
 		}
 		return reportScenario(s.Run())
 	}
@@ -118,6 +131,88 @@ func realMain() int {
 	}
 	fmt.Printf("ghost-check: %d scenarios OK (seeds %d..%d)\n", len(jobs), c.Seed, c.Seed+uint64(c.Seeds)-1)
 	return 0
+}
+
+// reproWithRewind runs a repro scenario with periodic checkpoints and,
+// if it fails, rewinds from the last checkpoint before the first
+// violation, reporting how many events the rewind replayed versus
+// skipped. The rewind checkpoint is written to a .snap file so a later
+// `-restore FILE` resumes from it directly.
+func reproWithRewind(s check.Scenario, every sim.Duration) int {
+	if ok, why := s.SnapshotCapable(); !ok {
+		fmt.Fprintf(os.Stderr, "ghost-check: scenario is not snapshot-capable (%s); running without checkpoints\n", why)
+		return reportScenario(s.Run())
+	}
+	cr := s.RunWithCheckpoints(every)
+	if cr.Skips > 0 {
+		fmt.Fprintf(os.Stderr, "ghost-check: %d checkpoint boundaries skipped (first: %s)\n",
+			cr.Skips, cr.SkipReasons[0])
+	}
+	if !cr.Result.Failed() {
+		fmt.Printf("ghost-check: OK: %s (%d checkpoints, %d events)\n",
+			s.Repro(), len(cr.Checkpoints), cr.FinalExecuted)
+		return 0
+	}
+	reportFailure(cr.Result, false)
+	rep, err := check.Rewind(s, cr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghost-check: rewind:", err)
+		return 1
+	}
+	fmt.Printf("rewind: from checkpoint t=%v replayed %d events, skipped %d (t=0 re-run executes %d)\n",
+		rep.From, rep.Replayed, rep.Skipped, cr.FinalExecuted)
+	if rep.Result.Failed() {
+		fmt.Printf("rewind: reproduced %d violations\n", len(rep.Result.Violations))
+	} else {
+		fmt.Printf("rewind: no violations after the checkpoint (evidence predates it; rewind from an earlier checkpoint)\n")
+	}
+	if best := cr.CheckpointBefore(cr.Result.Violations[0].Time); best != nil {
+		file := fmt.Sprintf("ghost-check-rewind-seed%d.snap", s.Seed)
+		if err := writeImage(file, best.Img); err != nil {
+			fmt.Fprintln(os.Stderr, "ghost-check:", err)
+		} else {
+			fmt.Printf("rewind: checkpoint saved to %s; resume it with\n  ghost-check -repro %q -restore %s\n",
+				file, s.Repro(), file)
+		}
+	}
+	return 1
+}
+
+// reproFromFile rewinds a repro scenario from an on-disk checkpoint
+// written by an earlier -snapshot-every run.
+func reproFromFile(s check.Scenario, file string) int {
+	f, err := os.Open(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghost-check:", err)
+		return 2
+	}
+	img, err := snap.Decode(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghost-check: %s: %v\n", file, err)
+		return 2
+	}
+	rep, err := check.RewindFrom(s, img)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghost-check:", err)
+		return 2
+	}
+	fmt.Printf("rewind: from %s (t=%v) replayed %d events, skipped %d\n",
+		file, rep.From, rep.Replayed, rep.Skipped)
+	return reportScenario(rep.Result)
+}
+
+// writeImage encodes a checkpoint image to a .snap file.
+func writeImage(file string, img *snap.Image) error {
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	if err := img.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func contains(xs []string, x string) bool {

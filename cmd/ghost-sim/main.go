@@ -8,6 +8,8 @@
 //	ghost-sim -sched cfs -service 25us -workers 32
 //	ghost-sim -seeds 8 -parallel 4   # seed sensitivity sweep, 4 workers
 //	ghost-sim -shards 4              # sharded event queue, same bytes out
+//	ghost-sim -snapshot-every 100ms  # write a .snap checkpoint per interval
+//	ghost-sim -restore f.snap -dur 1s  # resume one and run to t=1s
 package main
 
 import (
@@ -26,22 +28,24 @@ import (
 
 // scenario is one fully resolved simulation configuration.
 type scenario struct {
-	machine  string
-	topo     *ghost.Topology
-	sched    string
-	rate     float64
-	service  time.Duration
-	bimodal  bool
-	workers  int
-	cpus     int
-	dur      time.Duration
-	seed     uint64
-	shards   int
-	traceLog bool
-	traceOut string
-	metrics  bool
-	faultsIn string
-	invar    bool
+	machine   string
+	topo      *ghost.Topology
+	sched     string
+	rate      float64
+	service   time.Duration
+	bimodal   bool
+	workers   int
+	cpus      int
+	dur       time.Duration
+	seed      uint64
+	shards    int
+	snapEvery time.Duration
+	restore   string
+	traceLog  bool
+	traceOut  string
+	metrics   bool
+	faultsIn  string
+	invar     bool
 }
 
 func main() { os.Exit(realMain()) }
@@ -72,6 +76,7 @@ func realMain() int {
 	c.ParallelFlag(flag.CommandLine)
 	c.ShardsFlag(flag.CommandLine)
 	c.QuickFlag(flag.CommandLine, "cap -dur at 200ms for a fast smoke pass")
+	c.SnapshotFlags(flag.CommandLine)
 	c.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 	seed, seeds, parallel := &c.Seed, &c.Seeds, &c.Parallel
@@ -101,6 +106,14 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "-tracelog/-trace need a single run; drop -seeds\n")
 		return 1
 	}
+	if (c.SnapshotEvery > 0 || c.Restore != "") && *seeds > 1 {
+		fmt.Fprintf(os.Stderr, "-snapshot-every/-restore need a single run; drop -seeds\n")
+		return 1
+	}
+	if c.SnapshotEvery > 0 && *faultsIn != "" {
+		fmt.Fprintf(os.Stderr, "-snapshot-every is incompatible with -faults: pending fault closures fall outside the snapshot envelope\n")
+		return 1
+	}
 
 	stop, err := c.StartProfiles()
 	if err != nil {
@@ -112,8 +125,18 @@ func realMain() int {
 	sc := scenario{
 		machine: *machine, topo: topo, sched: *sched, rate: *rate,
 		service: *service, bimodal: *bimodal, workers: *workers, cpus: *cpus,
-		dur: *dur, seed: *seed, shards: c.Shards, traceLog: *traceLog, traceOut: *traceOut,
+		dur: *dur, seed: *seed, shards: c.Shards, snapEvery: c.SnapshotEvery,
+		restore: c.Restore, traceLog: *traceLog, traceOut: *traceOut,
 		metrics: *metrics, faultsIn: *faultsIn, invar: *invar,
+	}
+	if sc.restore != "" {
+		out, err := sc.runRestored()
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if *seeds <= 1 {
 		out, err := sc.run()
@@ -181,6 +204,9 @@ func (sc scenario) run() (string, error) {
 		}
 		opts = append(opts, ghost.WithFaults(plan))
 	}
+	if sc.snapEvery > 0 {
+		opts = append(opts, ghost.WithSnapshotEvery(sim.Duration(sc.snapEvery)))
+	}
 	m := ghost.NewMachine(sc.topo, opts...)
 	defer m.Shutdown()
 	if sc.traceLog {
@@ -226,7 +252,11 @@ func (sc scenario) run() (string, error) {
 	if sc.bimodal {
 		dist = workload.RocksDBService()
 	}
-	workload.NewPoissonSource(m.Kernel().Scheduler(), sim.NewRand(sc.seed), sc.rate, dist, pool.Submit)
+	src := workload.NewPoissonSource(m.Kernel().Scheduler(), sim.NewRand(sc.seed), sc.rate, dist, pool.Submit)
+	// Registered as snapshot components so -snapshot-every checkpoints
+	// capture the serving structure, not just the kernel.
+	m.AddSnapshotComponent("pool", pool)
+	m.AddSnapshotComponent("src", src)
 
 	start := time.Now()
 	m.Run(sim.Duration(sc.dur))
@@ -234,6 +264,11 @@ func (sc scenario) run() (string, error) {
 		sc.machine, sc.sched, sc.rate, sc.service, sc.workers, sc.cpus, sc.seed, sc.dur, time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(&b, "completed: %d (%.0f req/s)\n", rec.Completed, rec.Throughput(m.Now()))
 	fmt.Fprintf(&b, "latency:   %s\n", rec.Hist.Percentiles())
+	if sc.snapEvery > 0 {
+		if err := sc.reportSnapshots(&b, m); err != nil {
+			return b.String(), err
+		}
+	}
 
 	if sc.metrics {
 		fmt.Fprint(&b, m.Metrics())
@@ -263,6 +298,97 @@ func (sc scenario) run() (string, error) {
 			return b.String(), fmt.Errorf("trace: %w", err)
 		}
 		fmt.Fprintf(&b, "trace:     %s (load at ui.perfetto.dev)\n", sc.traceOut)
+	}
+	return b.String(), nil
+}
+
+// reportSnapshots writes the run's periodic checkpoints to .snap files
+// and prints the machine's final-state digest, so two runs (or a run and
+// its restore) can be compared byte-for-byte.
+func (sc scenario) reportSnapshots(b *strings.Builder, m *ghost.Machine) error {
+	if skips := m.SnapshotSkips(); skips > 0 {
+		fmt.Fprintf(b, "snapshots: %d boundaries skipped (machine outside the snapshot envelope)\n", skips)
+	}
+	for _, s := range m.Checkpoints() {
+		file := fmt.Sprintf("ghost-sim-seed%d-t%v.snap", sc.seed, s.Time())
+		f, err := os.Create(file)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if _, err := s.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		fmt.Fprintf(b, "snapshot:  %s (digest %.12s)\n", file, s.Digest())
+	}
+	final, err := m.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot: final state: %w", err)
+	}
+	fmt.Fprintf(b, "digest:    %s\n", final.Digest())
+	return nil
+}
+
+// runRestored resumes a machine from a -restore .snap file and runs it
+// to -dur of total simulated time. The scheduler, workload and topology
+// all come from the snapshot; the workload flags are ignored. Online
+// invariant checking stays off — the oracles need history from t=0.
+func (sc scenario) runRestored() (string, error) {
+	var b strings.Builder
+	f, err := os.Open(sc.restore)
+	if err != nil {
+		return "", err
+	}
+	snapshot, err := ghost.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", sc.restore, err)
+	}
+	if sim.Time(sc.dur) <= snapshot.Time() {
+		return "", fmt.Errorf("-dur %v is not past the snapshot time %v; nothing to simulate", sc.dur, snapshot.Time())
+	}
+	opts := []ghost.MachineOption{
+		// The one closure a snapshot cannot carry: the Poisson source's
+		// sink, re-wired to the restored worker pool.
+		ghost.WithRestoredComponent("src", func(m *ghost.Machine) (ghost.SnapshotComponent, error) {
+			pool, ok := m.SnapshotComponent("pool").(*ghost.WorkerPool)
+			if !ok {
+				return nil, fmt.Errorf("snapshot has no worker pool component")
+			}
+			return m.NewPoissonShell(func(r *ghost.Request) { pool.Submit(r) }), nil
+		}),
+	}
+	if sc.snapEvery > 0 {
+		opts = append(opts, ghost.WithSnapshotEvery(sim.Duration(sc.snapEvery)))
+	}
+	m, err := ghost.Restore(snapshot, opts...)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", sc.restore, err)
+	}
+	defer m.Shutdown()
+
+	start := time.Now()
+	m.RunUntil(sim.Time(sc.dur))
+	fmt.Fprintf(&b, "restored=%s t0=%v seed=%d simulated to %v (wall %v)\n",
+		sc.restore, snapshot.Time(), sc.seed, sc.dur, time.Since(start).Round(time.Millisecond))
+	if pool, ok := m.SnapshotComponent("pool").(*ghost.WorkerPool); ok {
+		rec := pool.Recorder()
+		fmt.Fprintf(&b, "completed: %d (%.0f req/s)\n", rec.Completed, rec.Throughput(m.Now()))
+		fmt.Fprintf(&b, "latency:   %s\n", rec.Hist.Percentiles())
+	}
+	if sc.snapEvery > 0 {
+		if err := sc.reportSnapshots(&b, m); err != nil {
+			return b.String(), err
+		}
+	} else {
+		final, err := m.Snapshot()
+		if err != nil {
+			return b.String(), fmt.Errorf("snapshot: final state: %w", err)
+		}
+		fmt.Fprintf(&b, "digest:    %s\n", final.Digest())
 	}
 	return b.String(), nil
 }

@@ -22,6 +22,10 @@ type controlPolicy struct {
 	pendPreempt  []int
 
 	failedTxns uint64
+
+	// ctx is the attach-time policy context, kept for SnapshotLoad's
+	// TID resolution (Env.Fork restores a control policy mid-run).
+	ctx *ghost.PolicyContext
 }
 
 func newControlPolicy(auto bool) *controlPolicy {
@@ -34,6 +38,7 @@ func newControlPolicy(auto bool) *controlPolicy {
 
 // Attach implements ghost.GlobalPolicy.
 func (p *controlPolicy) Attach(ctx *ghost.PolicyContext) {
+	p.ctx = ctx
 	p.tr = ghost.NewPolicyTracker()
 	p.tr.OnRunnable = func(ts *ghost.PolicyThreadState, m ghost.Message) {
 		ts.CPU = -1

@@ -238,7 +238,105 @@ func Open(spec Spec) (*Env, error) {
 		e.pool.Submit(r)
 	})
 	e.src.Until = e.end
+
+	// Register the workload as snapshot components so the whole Env can
+	// be forked mid-run (Env.Fork). The rebinder re-attaches the Done
+	// hook (a closure the snapshot cannot carry) to in-flight requests.
+	e.pool.DoneRebinder = func(r *ghost.Request) { r.Done = e.onDone }
+	e.m.AddSnapshotComponent("pool", e.pool)
+	e.m.AddSnapshotComponent("src", e.src)
 	return e, nil
+}
+
+// Fork snapshots the environment at the current Step boundary and
+// returns an independent copy positioned at the same simulated time:
+// machine, enclave, agent, control-policy state, in-flight requests, and
+// the arrival process all carry over, so a warmed-up environment can be
+// split into many to sweep action strategies without re-simulating the
+// warmup. The fork and the original do not interact; stepping both with
+// the same action sequence produces byte-identical observation and
+// reward streams.
+//
+// Fork requires a quiescent boundary (between Steps) and an Env opened
+// without Invariants — the protocol oracles watch a run from t=0 and
+// cannot be rebuilt mid-stream.
+func (e *Env) Fork() (*Env, error) {
+	if e.closed {
+		return nil, errors.New("env: Fork on a closed environment")
+	}
+	if e.spec.Invariants {
+		return nil, errors.New("env: Fork cannot carry the invariant checker; open without Invariants")
+	}
+	s, err := e.m.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("env: fork: %w", err)
+	}
+	// Counters and histograms are plain values — assignment deep-copies.
+	ne := &Env{
+		spec:        e.spec,
+		quantum:     e.quantum,
+		end:         e.end,
+		stepN:       e.stepN,
+		arrivals:    e.arrivals,
+		completions: e.completions,
+		winArrivals: e.winArrivals,
+		winGood:     e.winGood,
+		winBad:      e.winBad,
+		winHist:     e.winHist,
+		totalHist:   e.totalHist,
+		done:        e.done,
+	}
+	// The pool and source carry closures a byte stream cannot hold (the
+	// Done hook, the arrival sink), so both restore through shells wired
+	// to the new Env.
+	m, err := ghost.Restore(s,
+		ghost.WithRestoredComponent("pool", func(m *ghost.Machine) (ghost.SnapshotComponent, error) {
+			p := m.NewWorkerPoolShell(nil)
+			p.DoneRebinder = func(r *ghost.Request) { r.Done = ne.onDone }
+			return p, nil
+		}),
+		ghost.WithRestoredComponent("src", func(m *ghost.Machine) (ghost.SnapshotComponent, error) {
+			pool, ok := m.SnapshotComponent("pool").(*ghost.WorkerPool)
+			if !ok {
+				return nil, errors.New("env: fork: worker pool restored out of order")
+			}
+			return m.NewPoissonShell(func(r *ghost.Request) {
+				ne.arrivals++
+				ne.winArrivals++
+				r.Done = ne.onDone
+				pool.Submit(r)
+			}), nil
+		}),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("env: fork: %w", err)
+	}
+	ne.m = m
+	ne.pool, _ = m.SnapshotComponent("pool").(*ghost.WorkerPool)
+	ne.src, _ = m.SnapshotComponent("src").(*ghost.PoissonSource)
+	if ne.pool == nil || ne.src == nil {
+		m.Shutdown()
+		return nil, errors.New("env: fork: workload components missing after restore")
+	}
+	sets := m.AgentSets()
+	if len(sets) != 1 {
+		m.Shutdown()
+		return nil, fmt.Errorf("env: fork: want 1 agent set after restore, got %d", len(sets))
+	}
+	ne.agents = sets[0]
+	cp, ok := ne.agents.Policy().(*controlPolicy)
+	if !ok {
+		m.Shutdown()
+		return nil, fmt.Errorf("env: fork: restored policy is %T, not the control policy", ne.agents.Policy())
+	}
+	ne.cp = cp
+	encs := m.Ghost.Enclaves()
+	if len(encs) != 1 {
+		m.Shutdown()
+		return nil, fmt.Errorf("env: fork: want 1 enclave after restore, got %d", len(encs))
+	}
+	ne.enc = encs[0]
+	return ne, nil
 }
 
 func (e *Env) onDone(r *ghost.Request, completed ghost.Time) {

@@ -263,23 +263,27 @@ func Start(k *kernel.Kernel, enc *ghostcore.Enclave, ac *kernel.AgentClass, poli
 	}
 	set.startOpts = opts
 	if cfg.repoll > 0 {
-		set.repollTicker = sim.NewTicker(k.Scheduler(), cfg.repoll, func(sim.Time) {
-			if set.stopped || enc.Destroyed() {
-				return
-			}
-			if set.globalCPU != hw.NoCPU {
-				set.pokeActive()
-			} else {
-				for _, r := range set.sortedRunners() {
-					set.nudge(r)
-				}
-			}
-		})
+		set.repollTicker = sim.NewTicker(k.Scheduler(), cfg.repoll, set.repollFire)
+		set.repollTicker.Key = fmt.Sprintf("agentset.%d.repoll", enc.ID())
 	}
 	if in := k.Faults(); in != nil {
 		set.registerFaultHooks(in, cfg.upgrade)
 	}
 	return set
+}
+
+// repollFire is the periodic virtual-timer tick behind WithRepoll.
+func (set *AgentSet) repollFire(sim.Time) {
+	if set.stopped || set.enc.Destroyed() {
+		return
+	}
+	if set.globalCPU != hw.NoCPU {
+		set.pokeActive()
+		return
+	}
+	for _, r := range set.sortedRunners() {
+		set.nudge(r)
+	}
 }
 
 // registerFaultHooks wires this generation to the fault injector. The

@@ -49,7 +49,7 @@ var DeterminismAnalyzer = &Analyzer{
 // legitimate), as are cmd/ progress timers.
 var determinismScope = []string{
 	"sim", "kernel", "ghostcore", "agentsdk", "faults",
-	"policies", "baselines", "workload", "check",
+	"policies", "baselines", "workload", "check", "snap",
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

@@ -7,6 +7,7 @@ package gfix
 import (
 	"ghost/internal/kernel"
 	ksim "ghost/internal/sim"
+	"ghost/internal/snap"
 )
 
 // Thread is the sanctioned re-export form: an alias never trips the
@@ -45,6 +46,14 @@ type BadHook func(t *kernel.Thread) int // want apisurface "type BadHook spells 
 
 // BadVar has an explicit internal type (initializer-only would be fine).
 var BadVar kernel.Mask // want apisurface "var BadVar spells internal type kernel.Mask"
+
+// BadSnapshot leaks the internal checkpoint image: the snapshot surface
+// must spell the opaque ghost.Snapshot, never snap.Image.
+func BadSnapshot() *snap.Image { return nil } // want apisurface "func BadSnapshot spells internal type snap.Image"
+
+// BadRestore leaks the restore context through a defined callback type;
+// the facade spelling is a func taking the public *Machine.
+type BadRestore func(ctx *snap.RestoreCtx) error // want apisurface "type BadRestore spells internal type snap.RestoreCtx"
 
 // Method on an exported receiver is surface.
 func (b *BadStruct) Bad(m kernel.Mask) {} // want apisurface "method Bad spells internal type kernel.Mask"

@@ -161,57 +161,90 @@ type Result struct {
 // Failed reports whether any invariant was violated.
 func (r *Result) Failed() bool { return len(r.Violations) > 0 }
 
-// Run executes the scenario under the Default oracle set and returns the
-// collected violations. The run is fully deterministic in the scenario.
-func (s Scenario) Run() *Result {
+// rig is one constructed scenario machine, with every handle the
+// checkpoint/rewind machinery needs (scenario.Run keeps none of this).
+type rig struct {
+	topo *hw.Topology
+	cm   hw.CostModel
+
+	eng   *sim.Engine  // single-queue mode
+	shd   *sim.Sharded // sharded mode
+	grp   *sim.Group   // sharded mode
+	sched sim.Scheduler
+
+	runFor func(sim.Duration)
+	now    func() sim.Time
+
+	k   *kernel.Kernel
+	ac  *kernel.AgentClass
+	mq  *kernel.MicroQuanta
+	cfs *kernel.CFS
+	g   *ghostcore.Class
+}
+
+// buildShell constructs the scenario's machine skeleton — topology,
+// engine(s), kernel, scheduling classes, seeded mutation — with no
+// checker, enclaves or threads yet. Both the forward run and a snapshot
+// restore start from this exact shell.
+func (s Scenario) buildShell() *rig {
 	if s.CPUs < 2 {
 		s.CPUs = 2
 	}
-	topo := hw.NewTopology(hw.Config{
+	rg := &rig{cm: hw.DefaultCostModel()}
+	rg.topo = hw.NewTopology(hw.Config{
 		Name: "check", Sockets: 1, CCXsPerSocket: 1,
 		CoresPerCCX: s.CPUs / 2, SMTWidth: 2,
 	})
-	cm := hw.DefaultCostModel()
 	// Sharded scenarios drive the identical program through per-domain
 	// sub-engines; the oracles see the same byte-for-byte history.
-	var (
-		sched  sim.Scheduler
-		runFor func(sim.Duration)
-		now    func() sim.Time
-	)
 	if nd := s.Shards; nd > 1 {
 		if nd > s.CPUs {
 			nd = s.CPUs
 		}
-		shd := sim.NewSharded(1)
-		grp := shd.NewGroup(cm.RemoteCommitTargetCost(1, false), nd)
+		rg.shd = sim.NewSharded(1)
+		rg.grp = rg.shd.NewGroup(rg.cm.RemoteCommitTargetCost(1, false), nd)
 		per := (s.CPUs + nd - 1) / nd
 		for cpu := 0; cpu < s.CPUs; cpu++ {
-			grp.MapCPU(cpu, cpu/per)
+			rg.grp.MapCPU(cpu, cpu/per)
 		}
-		sched, runFor, now = grp.Root(), shd.RunFor, shd.Now
+		rg.sched, rg.runFor, rg.now = rg.grp.Root(), rg.shd.RunFor, rg.shd.Now
 	} else {
-		eng := sim.NewEngine()
-		sched, runFor, now = eng, eng.RunFor, eng.Now
+		rg.eng = sim.NewEngine()
+		rg.sched, rg.runFor, rg.now = rg.eng, rg.eng.RunFor, rg.eng.Now
 	}
-	k := kernel.New(sched, topo, cm)
-	ac := kernel.NewAgentClass(k)
-	mq := kernel.NewMicroQuanta(k)
-	cfs := kernel.NewCFS(k)
-	g := ghostcore.NewClass(k, cfs)
+	rg.k = kernel.New(rg.sched, rg.topo, rg.cm)
+	rg.ac = kernel.NewAgentClass(rg.k)
+	rg.mq = kernel.NewMicroQuanta(rg.k)
+	rg.cfs = kernel.NewCFS(rg.k)
+	rg.g = ghostcore.NewClass(rg.k, rg.cfs)
+	applyMutation(rg.g, s.Mutation)
+	return rg
+}
 
-	ck := Attach(k, g, append(Default(), testExtraOracles...)...)
+// attach wires a fresh Checker (Default oracles plus test extras) onto
+// the rig. Called before populate on a forward run, and after snap.Load
+// on a rewind — oracles must never observe construction-time noise that
+// a restore overlay erases.
+func (s Scenario) attach(rg *rig) *Checker {
+	ck := Attach(rg.k, rg.g, append(Default(), testExtraOracles...)...)
 	if th := s.Horizon / 2; th > ck.LostThreshold {
 		ck.LostThreshold = th
 	}
-	applyMutation(g, s.Mutation)
+	return ck
+}
 
+// populate spawns the scenario's enclave, agents and workload onto the
+// shell, returning the started agent sets (the snapshot walk needs
+// them). Every thread body carries a descriptor, so fault-free scenarios
+// are snapshot-capable.
+func (s Scenario) populate(rg *rig) []*agentsdk.AgentSet {
 	r := sim.NewRand(s.Seed ^ 0x9E3779B97F4A7C15) // runtime stream, distinct from Generate's
 	nVMs := 2 + r.Intn(3)
 
+	var sets []*agentsdk.AgentSet
 	var enc *ghostcore.Enclave
 	if s.ghostPolicy() {
-		enc = ghostcore.NewEnclave(g, kernel.MaskAll(s.CPUs))
+		enc = ghostcore.NewEnclave(rg.g, kernel.MaskAll(s.CPUs))
 		if s.Watchdog > 0 {
 			enc.EnableWatchdog(s.Watchdog)
 		}
@@ -220,43 +253,57 @@ func (s Scenario) Run() *Result {
 			if err != nil {
 				panic(fmt.Sprintf("check: bad fault spec %q: %v", s.FaultSpec, err))
 			}
-			k.SetFaults(faults.NewInjector(sched, plan))
+			rg.k.SetFaults(faults.NewInjector(rg.sched, plan))
 		}
 		opts := []agentsdk.Option{
 			agentsdk.WithUpgradePolicy(func() any { return s.newPolicy() }),
 		}
-		agentsdk.Start(k, enc, ac, s.newPolicy(), opts...)
+		sets = append(sets, agentsdk.Start(rg.k, enc, rg.ac, s.newPolicy(), opts...))
 	}
 
 	// Workload: each thread runs short bursts and sleeps/yields, driven
 	// by its own forked random stream.
 	for i := 0; i < s.Threads; i++ {
-		body := workerBody(r.Fork(), 5+r.Intn(96))
+		wr := r.Fork()
+		burst := 5 + r.Intn(96)
+		body := workerBody(wr, burst)
 		so := kernel.SpawnOpts{Name: fmt.Sprintf("w%d", i)}
+		var th *kernel.Thread
 		switch {
 		case s.Policy == "cfs":
-			so.Class = cfs
-			k.Spawn(so, body)
+			so.Class = rg.cfs
+			th = rg.k.Spawn(so, body)
 		case s.Policy == "microquanta":
-			so.Class = mq
-			k.Spawn(so, body)
+			so.Class = rg.mq
+			th = rg.k.Spawn(so, body)
 		default:
 			if s.Policy == "coresched" {
 				so.Tag = i % nVMs
 			}
-			enc.SpawnThread(so, body)
+			th = enc.SpawnThread(so, body)
 		}
+		th.SetBodyDesc(&kernel.BodyDesc{Kind: "check.worker", Args: []int64{int64(burst)}, Rand: wr})
 	}
 	// CFS noise threads compete with the enclave for CPUs (§3.4: any CFS
 	// thread preempts ghOSt), exercising the cpu-taken install paths.
 	for i := 0; i < 1+r.Intn(2); i++ {
-		k.Spawn(kernel.SpawnOpts{Name: fmt.Sprintf("noise%d", i), Class: cfs},
-			noiseBody(r.Fork()))
+		nr := r.Fork()
+		th := rg.k.Spawn(kernel.SpawnOpts{Name: fmt.Sprintf("noise%d", i), Class: rg.cfs},
+			noiseBody(nr))
+		th.SetBodyDesc(&kernel.BodyDesc{Kind: "check.noise", Rand: nr})
 	}
+	return sets
+}
 
-	runFor(s.Horizon)
-	ck.Finish(now())
-	k.Shutdown()
+// Run executes the scenario under the Default oracle set and returns the
+// collected violations. The run is fully deterministic in the scenario.
+func (s Scenario) Run() *Result {
+	rg := s.buildShell()
+	ck := s.attach(rg)
+	s.populate(rg)
+	rg.runFor(s.Horizon)
+	ck.Finish(rg.now())
+	rg.k.Shutdown()
 	return &Result{Scenario: s, Violations: ck.Violations()}
 }
 
@@ -266,14 +313,40 @@ func workerBody(r *sim.Rand, maxBurstUS int) kernel.ThreadFunc {
 	return func(tc *kernel.TaskContext) {
 		for {
 			tc.Run(sim.Duration(1+r.Intn(maxBurstUS)) * sim.Microsecond)
-			switch r.Intn(4) {
-			case 0, 1:
-				tc.Sleep(sim.Duration(20+r.Intn(200)) * sim.Microsecond)
-			case 2:
-				tc.Yield()
-			default:
-				tc.Sleep(sim.Duration(1+r.Intn(20)) * sim.Microsecond)
-			}
+			workerPark(tc, r)
+		}
+	}
+}
+
+// workerPark is the tail of one worker iteration: the branch draw and
+// the park (or yield) it selects. Split out so a body resumed from a
+// snapshot mid-Run re-enters the loop at exactly this point.
+func workerPark(tc *kernel.TaskContext, r *sim.Rand) {
+	switch r.Intn(4) {
+	case 0, 1:
+		tc.Sleep(sim.Duration(20+r.Intn(200)) * sim.Microsecond)
+	case 2:
+		tc.Yield()
+	default:
+		tc.Sleep(sim.Duration(1+r.Intn(20)) * sim.Microsecond)
+	}
+}
+
+// resumedWorkerBody rebuilds a worker parked in a snapshot: re-issue the
+// parked call first (the overlay restores the remaining service time and
+// the sleep wake-up is re-filed as a pending event), then continue the
+// loop with the restored random stream.
+func resumedWorkerBody(r *sim.Rand, maxBurstUS int, inRun bool) kernel.ThreadFunc {
+	return func(tc *kernel.TaskContext) {
+		if inRun {
+			tc.Run(1) // remaining service restored by the state overlay
+			workerPark(tc, r)
+		} else {
+			tc.Block() // re-enter the Sleep park; the wake event is re-filed
+		}
+		for {
+			tc.Run(sim.Duration(1+r.Intn(maxBurstUS)) * sim.Microsecond)
+			workerPark(tc, r)
 		}
 	}
 }
@@ -282,6 +355,22 @@ func workerBody(r *sim.Rand, maxBurstUS int) kernel.ThreadFunc {
 // enclave is perturbed but never starved.
 func noiseBody(r *sim.Rand) kernel.ThreadFunc {
 	return func(tc *kernel.TaskContext) {
+		for {
+			tc.Run(sim.Duration(5+r.Intn(45)) * sim.Microsecond)
+			tc.Sleep(sim.Duration(200+r.Intn(800)) * sim.Microsecond)
+		}
+	}
+}
+
+// resumedNoiseBody is noiseBody's snapshot-resume counterpart.
+func resumedNoiseBody(r *sim.Rand, inRun bool) kernel.ThreadFunc {
+	return func(tc *kernel.TaskContext) {
+		if inRun {
+			tc.Run(1) // remaining work restored by the state overlay
+			tc.Sleep(sim.Duration(200+r.Intn(800)) * sim.Microsecond)
+		} else {
+			tc.Block() // re-enter the Sleep park; the wake event is re-filed
+		}
 		for {
 			tc.Run(sim.Duration(5+r.Intn(45)) * sim.Microsecond)
 			tc.Sleep(sim.Duration(200+r.Intn(800)) * sim.Microsecond)

@@ -1,7 +1,8 @@
 // Package cli centralizes the flag vocabulary shared by the ghost
 // commands (ghost-sim, ghost-bench, ghost-check): one spelling, default,
 // and usage string each for -seed, -seeds, -parallel, -shards, -quick,
-// -cpuprofile, and -memprofile, so the tools read identically in -help
+// -snapshot-every, -restore, -cpuprofile, and -memprofile, so the tools
+// read identically in -help
 // and scripts can move between them without translating flags. Each
 // command registers the subset it supports; the values land in one
 // Common struct.
@@ -14,17 +15,20 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
 
 // Common holds the values of the shared flags a command registered.
 type Common struct {
-	Seed       uint64
-	Seeds      int
-	Parallel   int
-	Shards     int
-	Quick      bool
-	CPUProfile string
-	MemProfile string
+	Seed          uint64
+	Seeds         int
+	Parallel      int
+	Shards        int
+	Quick         bool
+	SnapshotEvery time.Duration
+	Restore       string
+	CPUProfile    string
+	MemProfile    string
 }
 
 // SeedFlag registers -seed: the first (or only) random seed.
@@ -55,6 +59,18 @@ func (c *Common) ShardsFlag(fs *flag.FlagSet) {
 // pass shrinks in this command.
 func (c *Common) QuickFlag(fs *flag.FlagSet, effect string) {
 	fs.BoolVar(&c.Quick, "quick", false, effect)
+}
+
+// SnapshotFlags registers -snapshot-every and -restore: the shared
+// checkpoint/restore vocabulary. What a snapshot boundary produces is
+// per command (ghost-sim writes .snap files, ghost-check rewinds a
+// failing repro, ghost-bench digest-checks restore transparency), but
+// the spelling, units, and help text are identical everywhere.
+func (c *Common) SnapshotFlags(fs *flag.FlagSet) {
+	fs.DurationVar(&c.SnapshotEvery, "snapshot-every", 0,
+		"snapshot the simulated machine every D of simulated time (0 = never); see the command's docs for what each checkpoint is used for")
+	fs.StringVar(&c.Restore, "restore", "",
+		"resume from the .snap FILE a previous -snapshot-every run wrote, instead of starting at t=0")
 }
 
 // ProfileFlags registers -cpuprofile and -memprofile: runtime/pprof

@@ -72,6 +72,9 @@ func runFig5(o Options) *Report {
 	}
 	rep.Notef("expected shape: ramp while CPUs are added, dip when the agent's SMT " +
 		"sibling gets workers, degradation on the remote socket (paper Fig 5)")
+	if o.SnapshotEvery > 0 {
+		rep.Notef("snapshot smoke: every point snapshot->restore digest-verified (restore transparent)")
+	}
 	return rep
 }
 
@@ -135,12 +138,8 @@ func fig5Point(topo *hw.Topology, cpus []hw.CPUID, o Options) float64 {
 	const work = 15 * sim.Microsecond
 	nThreads := 2 * len(cpus)
 	for i := 0; i < nThreads; i++ {
-		enc.SpawnThread(kernel.SpawnOpts{Name: "looper"}, func(tc *kernel.TaskContext) {
-			for {
-				tc.Run(work)
-				tc.Yield()
-			}
-		})
+		th := enc.SpawnThread(kernel.SpawnOpts{Name: "looper"}, fig5Looper(work))
+		th.SetBodyDesc(&kernel.BodyDesc{Kind: "experiments.fig5-looper", Args: []int64{int64(work)}})
 	}
 	warm := 5 * sim.Millisecond
 	window := 50 * sim.Millisecond
@@ -149,6 +148,12 @@ func fig5Point(topo *hw.Topology, cpus []hw.CPUID, o Options) float64 {
 	}
 	m.m.Run(warm)
 	base := set.TxnsCommitted
-	m.m.Run(window)
+	if o.SnapshotEvery > 0 {
+		// Restore-transparency smoke: snapshot here, run the window on
+		// both the original and the restored machine, compare digests.
+		fig5SnapshotSmoke(m, sim.Time(warm+window))
+	} else {
+		m.m.Run(window)
+	}
 	return float64(set.TxnsCommitted-base) / window.Seconds()
 }

@@ -37,6 +37,11 @@ type Options struct {
 	// the single-queue engine. Reports are byte-identical at any
 	// setting.
 	Shards int
+	// SnapshotEvery, when positive, turns on the snapshot smoke in the
+	// experiments that support it (fig5): each point snapshots its
+	// warmed machine, restores the snapshot, and requires the restored
+	// run's forward digest to match the original byte-for-byte.
+	SnapshotEvery sim.Duration
 }
 
 // Report is the rendered outcome of one experiment.

@@ -837,22 +837,26 @@ func (e *Enclave) EnableWatchdog(timeout sim.Duration) {
 	if period < sim.Millisecond {
 		period = sim.Millisecond
 	}
-	e.watchdog = sim.NewTicker(e.k.Scheduler(), period, func(now sim.Time) {
-		if e.destroyed {
+	e.watchdog = sim.NewTicker(e.k.Scheduler(), period, e.watchdogCheck)
+	e.watchdog.Key = fmt.Sprintf("enclave.%d.watchdog", e.id)
+}
+
+// watchdogCheck is the periodic starvation scan behind EnableWatchdog.
+func (e *Enclave) watchdogCheck(now sim.Time) {
+	if e.destroyed {
+		return
+	}
+	// Sorted iteration (Threads): the destroy reason names the first
+	// starved thread, and that choice must not follow map order into the
+	// trace.
+	for _, t := range e.Threads() {
+		gt := gstate(t)
+		if gt != nil && gt.runnable && !gt.latched && now-gt.runnableSince > e.WatchdogTimeout {
+			if tr := e.k.Tracer(); tr != nil {
+				tr.EnclaveEvent(now, e.id, "watchdog-fired", t.Name())
+			}
+			e.DestroyWith(fmt.Errorf("%w: %v runnable for %v", ErrWatchdog, t, now-gt.runnableSince))
 			return
 		}
-		// Sorted iteration (Threads): the destroy reason names the
-		// first starved thread, and that choice must not follow map
-		// order into the trace.
-		for _, t := range e.Threads() {
-			gt := gstate(t)
-			if gt != nil && gt.runnable && !gt.latched && now-gt.runnableSince > e.WatchdogTimeout {
-				if tr := e.k.Tracer(); tr != nil {
-					tr.EnclaveEvent(now, e.id, "watchdog-fired", t.Name())
-				}
-				e.DestroyWith(fmt.Errorf("%w: %v runnable for %v", ErrWatchdog, t, now-gt.runnableSince))
-				return
-			}
-		}
-	})
+	}
 }

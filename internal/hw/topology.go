@@ -126,6 +126,18 @@ func NewTopology(cfg Config) *Topology {
 	return t
 }
 
+// Config returns the configuration this topology was built from, so an
+// identical machine can be rebuilt (snapshot restore).
+func (t *Topology) Config() Config {
+	return Config{
+		Name:          t.Name,
+		Sockets:       t.sockets,
+		CCXsPerSocket: t.ccxsPerSocket,
+		CoresPerCCX:   t.coresPerCCX,
+		SMTWidth:      t.smtWidth,
+	}
+}
+
 // NumCPUs returns the number of logical CPUs.
 func (t *Topology) NumCPUs() int { return len(t.cpus) }
 

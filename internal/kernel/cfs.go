@@ -101,6 +101,8 @@ type CFS struct {
 	WakeupGran     sim.Duration // sched_wakeup_granularity_ns
 	BalancePeriod  sim.Duration
 	MigrationCost  sim.Duration // sched_migration_cost_ns (newidle gate)
+
+	balance *sim.Ticker // periodic load balancer (keyed for snapshots)
 }
 
 // NewCFS creates the CFS class and its periodic load balancer, and
@@ -121,10 +123,15 @@ func NewCFS(k *Kernel) *CFS {
 		c.rqs[i] = &cfsRq{}
 	}
 	k.AddIdleHook(func(cpu *CPU) { c.idleStart[cpu.ID] = k.Now() })
-	sim.NewTicker(k.Scheduler(), c.BalancePeriod, func(sim.Time) { c.loadBalance() })
+	c.balance = sim.NewTicker(k.Scheduler(), c.BalancePeriod, func(sim.Time) { c.loadBalance() })
+	c.balance.Key = "cfs.balance"
 	k.RegisterClass(c)
 	return c
 }
+
+// BalanceTicker returns the periodic load-balance ticker (snapshot
+// plumbing).
+func (c *CFS) BalanceTicker() *sim.Ticker { return c.balance }
 
 // Name implements Class.
 func (c *CFS) Name() string { return "cfs" }

@@ -31,6 +31,7 @@ type Kernel struct {
 	threads  map[TID]*Thread
 	live     []*Thread
 	nextTID  TID
+	tickers  []*sim.Ticker // per-CPU timer-tick tickers (keyed for snapshots)
 
 	classes []Class // sorted by descending priority
 
@@ -92,17 +93,27 @@ func New(eng sim.Scheduler, topo *hw.Topology, cost hw.CostModel) *Kernel {
 			k.cpuSched[i] = eng
 		}
 	}
-	// Staggered per-CPU timer ticks, each on its CPU's home domain.
+	// Staggered per-CPU timer ticks, each on its CPU's home domain. The
+	// ticker objects are built eagerly (so snapshots have a stable, keyed
+	// object to link pending firings to) and armed by a keyed start event,
+	// preserving the exact event count and order of the start stagger.
+	k.tickers = make([]*sim.Ticker, n)
 	for i := 0; i < n; i++ {
 		c := k.cpus[i]
 		cs := k.cpuSched[i]
+		tk := sim.NewStoppedTicker(cs, cost.TickPeriod, func(sim.Time) { k.tick(c) })
+		tk.Key = fmt.Sprintf("kernel.tick.%d", i)
+		k.tickers[i] = tk
 		offset := cost.TickPeriod * sim.Duration(i) / sim.Duration(n)
-		cs.At(eng.Now()+offset, func() {
-			sim.NewTicker(cs, cost.TickPeriod, func(sim.Time) { k.tick(c) })
-		})
+		cs.AtCall(eng.Now()+offset, startTickFn, tk)
 	}
 	return k
 }
+
+// startTickFn arms a per-CPU tick ticker at its staggered start offset;
+// package-level so the start event is serializable (snapshot kind
+// "kernel.starttick", keyed by the ticker).
+func startTickFn(a any) { a.(*sim.Ticker).Start() }
 
 // Scheduler returns the kernel's root event scheduler.
 func (k *Kernel) Scheduler() sim.Scheduler { return k.eng }

@@ -144,6 +144,45 @@ type Thread struct {
 	// Tag is opaque workload-owned state (e.g. which VM a vCPU belongs
 	// to); the kernel never inspects it.
 	Tag any
+
+	// body, when set, describes this thread's ThreadFunc as a registered,
+	// resumable body (internal/snap): a kind in the body registry plus the
+	// arguments and private random stream needed to rebuild it. Threads
+	// without a body descriptor (ad-hoc closures) cannot be snapshotted.
+	body *BodyDesc
+}
+
+// BodyDesc describes a registered, resumable thread body for
+// snapshot/restore. Kind names a factory in the snapshot body registry;
+// Args are the body's construction parameters; Rand, when non-nil, is the
+// body's private random stream (its state rides in the snapshot so the
+// resumed body continues the same sequence of draws).
+type BodyDesc struct {
+	Kind string
+	// Key names the owning snapshot component (e.g. the worker pool a
+	// pool-worker body belongs to); empty for standalone bodies.
+	Key  string
+	Args []int64
+	Rand *sim.Rand
+}
+
+// SetBodyDesc attaches a resumable-body descriptor to the thread; spawn
+// sites whose bodies are registered in the snapshot body registry call
+// this right after Spawn.
+func (t *Thread) SetBodyDesc(d *BodyDesc) { t.body = d }
+
+// BodyDesc returns the thread's resumable-body descriptor, nil if none.
+func (t *Thread) BodyDesc() *BodyDesc { return t.body }
+
+// ensureAfterFn returns the thread's reusable post-run continuation,
+// creating it on first use. Restore-only: the hot path (nextAction)
+// creates the identical closure inline so the literal stays out of any
+// function reachable from the 0-alloc wake path.
+func (t *Thread) ensureAfterFn() func() {
+	if t.afterFn == nil {
+		t.afterFn = func() { t.k.applyAction(t, t.afterAction) }
+	}
+	return t.afterFn
 }
 
 // TID returns the thread id.

@@ -40,6 +40,8 @@ type CentralFIFO struct {
 	// running mirrors which tracked thread the policy put on each CPU.
 	running map[hw.CPUID]*TState
 	tun     *tunable.Set
+	// ctx is retained from Attach for snapshot TID resolution.
+	ctx *agentsdk.Context
 }
 
 // NewCentralFIFO builds the policy.
@@ -61,6 +63,7 @@ func (p *CentralFIFO) bandOf(t *kernel.Thread) int {
 
 // Attach implements agentsdk.GlobalPolicy.
 func (p *CentralFIFO) Attach(ctx *agentsdk.Context) {
+	p.ctx = ctx
 	if p.NumBands <= 0 {
 		p.NumBands = 1
 	}

@@ -20,6 +20,8 @@ type PerCPUFIFO struct {
 	home   map[kernel.TID]hw.CPUID
 	cpus   []hw.CPUID
 	nextRR int
+	// ctx is retained from Attach for snapshot TID resolution.
+	ctx *agentsdk.Context
 }
 
 // NewPerCPUFIFO builds the policy.
@@ -27,6 +29,7 @@ func NewPerCPUFIFO() *PerCPUFIFO { return &PerCPUFIFO{Steal: true} }
 
 // Attach implements agentsdk.PerCPUPolicy.
 func (p *PerCPUFIFO) Attach(ctx *agentsdk.Context) {
+	p.ctx = ctx
 	p.rqs = make(map[hw.CPUID][]*TState)
 	p.home = make(map[kernel.TID]hw.CPUID)
 	p.cpus = ctx.Enclave.CPUs().CPUs()

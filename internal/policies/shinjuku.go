@@ -42,6 +42,9 @@ type Shinjuku struct {
 	// runningSorted scratch, reused every scheduling step.
 	cpuScratch []int
 	runScratch []*TState
+
+	// ctx is retained from Attach for snapshot TID resolution.
+	ctx *agentsdk.Context
 }
 
 // NewShinjuku builds the policy with the paper's 30 µs timeslice.
@@ -63,6 +66,7 @@ func (p *Shinjuku) isBatch(t *kernel.Thread) bool {
 
 // Attach implements agentsdk.GlobalPolicy.
 func (p *Shinjuku) Attach(ctx *agentsdk.Context) {
+	p.ctx = ctx
 	p.running = make(map[hw.CPUID]*TState)
 	p.batchOn = make(map[hw.CPUID]*TState)
 	p.tr = NewTracker()

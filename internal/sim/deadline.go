@@ -4,9 +4,27 @@ package sim
 // an absolute time, replacing any previously armed firing. It exists for
 // recovery timeouts — the enclave's upgrade-attach fallback, fault
 // windows — that are armed and disarmed as state changes.
+//
+// The callback is stored on the struct and dispatched through a
+// package-level trampoline (rather than captured in a per-Arm closure) so
+// that a pending firing is serializable: snapshots record it under the
+// deadline's Key and restore re-links it via RestoreArmed.
 type Deadline struct {
 	eng Scheduler
+	fn  func()
 	ev  Event
+
+	// Key is the deadline's stable identity across snapshot/restore; see
+	// Ticker.Key.
+	Key string
+}
+
+// deadlineFire dispatches an armed deadline (allocation-free AtCall path).
+func deadlineFire(a any) {
+	d := a.(*Deadline)
+	if fn := d.fn; fn != nil {
+		fn()
+	}
 }
 
 // NewDeadline returns a disarmed deadline bound to eng.
@@ -17,7 +35,8 @@ func NewDeadline(eng Scheduler) *Deadline { return &Deadline{eng: eng} }
 // explicit cleanup wrapper is needed around fn.
 func (d *Deadline) Arm(t Time, fn func()) {
 	d.ev.Cancel()
-	d.ev = d.eng.At(t, fn)
+	d.fn = fn
+	d.ev = d.eng.AtCall(t, deadlineFire, d)
 }
 
 // Cancel disarms the deadline; a no-op when nothing is pending.
@@ -25,3 +44,10 @@ func (d *Deadline) Cancel() { d.ev.Cancel() }
 
 // Pending reports whether a firing is scheduled.
 func (d *Deadline) Pending() bool { return d.ev.Pending() }
+
+// RestoreArmed re-links a restored pending firing and its callback
+// (restore path; the callback is reconstructed by the owning subsystem).
+func (d *Deadline) RestoreArmed(fn func(), ev Event) {
+	d.fn = fn
+	d.ev = ev
+}

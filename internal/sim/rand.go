@@ -87,3 +87,10 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 func (r *Rand) Fork() *Rand {
 	return NewRand(r.Uint64())
 }
+
+// State returns the generator's internal state for snapshotting. A
+// generator with the same state produces the same stream from here on.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state (snapshot restore).
+func (r *Rand) SetState(s uint64) { r.state = s }

@@ -165,6 +165,45 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// HistogramState is a histogram's serialized form (snapshot/restore):
+// non-zero buckets as parallel index/count arrays plus the scalar
+// aggregates. The memoization fields are deliberately not part of the
+// state — they are a cache and never affect recorded values.
+type HistogramState struct {
+	Idx   []int    `json:"idx,omitempty"`
+	N     []uint64 `json:"n,omitempty"`
+	Total uint64   `json:"total"`
+	Sum   float64  `json:"sum"`
+	Min   int64    `json:"min"`
+	Max   int64    `json:"max"`
+}
+
+// State captures the histogram for serialization.
+func (h *Histogram) State() HistogramState {
+	s := HistogramState{Total: h.total, Sum: h.sum, Min: int64(h.min), Max: int64(h.max)}
+	for i, c := range h.counts[:] {
+		if c != 0 {
+			s.Idx = append(s.Idx, i)
+			s.N = append(s.N, c)
+		}
+	}
+	return s
+}
+
+// SetState overwrites the histogram with a previously captured state.
+func (h *Histogram) SetState(s HistogramState) {
+	h.Reset()
+	for i, b := range s.Idx {
+		if b >= 0 && b < histBuckets && i < len(s.N) {
+			h.counts[b] = s.N[i]
+		}
+	}
+	h.total = s.Total
+	h.sum = s.Sum
+	h.min = sim.Duration(s.Min)
+	h.max = sim.Duration(s.Max)
+}
+
 // Reset discards all observations.
 func (h *Histogram) Reset() {
 	h.counts = [histBuckets]uint64{}

@@ -20,6 +20,13 @@ type WorkerPool struct {
 	inbox    map[kernel.TID]*Request
 	backlog  []*Request
 	stopping bool
+
+	// snapKey is the pool's snapshot component key (BindSnapshotKey).
+	snapKey string
+	// DoneRebinder, when set, is applied to every pending request on
+	// snapshot restore: Done callbacks cannot ride in a byte stream, so
+	// the assembler that sets Request.Done must re-attach it here.
+	DoneRebinder func(*Request)
 }
 
 // NewWorkerPool spawns n worker threads with the given spawner (so the
@@ -51,24 +58,34 @@ func (p *WorkerPool) workerLoop(tc *kernel.TaskContext) {
 		if r == nil {
 			continue
 		}
-		delete(p.inbox, self.TID())
+		// The inbox entry stays until the service completes, so a snapshot
+		// taken mid-Run still knows which request this worker is serving.
 		tc.Run(r.Service)
-		done := tc.Now()
-		p.rec.Record(r, done)
-		if r.Done != nil {
-			r.Done(r, done)
-		}
-		// Pick up backlog before returning to the free list.
-		if len(p.backlog) > 0 {
-			next := p.backlog[0]
-			p.backlog = p.backlog[1:]
-			p.inbox[self.TID()] = next
-			// Loop around; Block consumes the self-wake immediately.
-			tc.Kernel().Wake(self)
-			continue
-		}
-		p.free = append(p.free, self)
+		p.finishRequest(tc)
 	}
+}
+
+// finishRequest completes the request in the worker's inbox slot after
+// its service time ran: record latency, invoke Done, pick up backlog
+// work before returning to the free list.
+func (p *WorkerPool) finishRequest(tc *kernel.TaskContext) {
+	self := tc.Thread()
+	r := p.inbox[self.TID()]
+	delete(p.inbox, self.TID())
+	done := tc.Now()
+	p.rec.Record(r, done)
+	if r.Done != nil {
+		r.Done(r, done)
+	}
+	if len(p.backlog) > 0 {
+		next := p.backlog[0]
+		p.backlog = p.backlog[1:]
+		p.inbox[self.TID()] = next
+		// Loop around; Block consumes the self-wake immediately.
+		tc.Kernel().Wake(self)
+		return
+	}
+	p.free = append(p.free, self)
 }
 
 // Submit hands a request to the pool (the PoissonSource sink).

@@ -10,6 +10,7 @@ import (
 	"ghost/internal/hw"
 	"ghost/internal/kernel"
 	"ghost/internal/sim"
+	"ghost/internal/snap"
 	"ghost/internal/trace"
 )
 
@@ -25,6 +26,15 @@ type Machine struct {
 	k     *kernel.Kernel
 	tr    *trace.Tracer
 	inv   *check.Checker
+
+	// Snapshot bookkeeping: live agent generations and registered
+	// components, in creation order; periodic-checkpoint state.
+	sets        []*agentsdk.AgentSet
+	comps       []snap.ComponentEntry
+	snapEvery   sim.Duration
+	nextCk      sim.Time
+	checkpoints []*Snapshot
+	snapSkips   int
 
 	// CFS is the default scheduler; threads spawned with the zero
 	// ThreadOpts.Class run under it.
@@ -46,6 +56,8 @@ type machineConfig struct {
 	oracles       []check.Oracle
 	shards        int
 	cluster       *Cluster
+	snapEvery     sim.Duration
+	restoreComps  map[string]func(*Machine) (SnapshotComponent, error)
 }
 
 // MachineOption customizes NewMachine. Options are applied in order;
@@ -194,6 +206,10 @@ func NewMachine(topo *Topology, opts ...MachineOption) *Machine {
 	if cfg.plan != nil {
 		k.SetFaults(faults.NewInjector(m.sched, cfg.plan))
 	}
+	if cfg.snapEvery > 0 {
+		m.snapEvery = cfg.snapEvery
+		m.nextCk = sim.Time(cfg.snapEvery)
+	}
 	return m
 }
 
@@ -235,19 +251,33 @@ func (m *Machine) TraceTo(w io.Writer) error { return m.tr.WriteJSON(w) }
 func (m *Machine) Now() Time { return m.sched.Now() }
 
 // Run advances simulated time by d.
-func (m *Machine) Run(d Duration) {
-	switch {
-	case m.eng != nil:
-		m.eng.RunFor(d)
-	case m.shd != nil:
-		m.shd.RunFor(d)
-	default:
-		panic("ghost: a machine in a Cluster is driven by Cluster.Run")
+func (m *Machine) Run(d Duration) { m.RunUntil(m.Now() + d) }
+
+// RunUntil advances simulated time to the absolute instant t. With
+// WithSnapshotEvery, the run is chunked at checkpoint boundaries and a
+// snapshot is taken at each (retrievable via Checkpoints).
+func (m *Machine) RunUntil(t Time) {
+	for {
+		stop := t
+		if m.snapEvery > 0 && m.nextCk < stop {
+			stop = m.nextCk
+		}
+		m.runUntil(stop)
+		if m.snapEvery > 0 && m.Now() >= m.nextCk {
+			if s, err := m.Snapshot(); err == nil {
+				m.checkpoints = append(m.checkpoints, s)
+			} else {
+				m.snapSkips++
+			}
+			m.nextCk += sim.Time(m.snapEvery)
+		}
+		if m.Now() >= t {
+			return
+		}
 	}
 }
 
-// RunUntil advances simulated time to the absolute instant t.
-func (m *Machine) RunUntil(t Time) {
+func (m *Machine) runUntil(t Time) {
 	switch {
 	case m.eng != nil:
 		m.eng.RunUntil(t)
@@ -351,7 +381,9 @@ var (
 // PerCPUPolicy → per-CPU) and may be forced with Global()/PerCPU() for
 // policies implementing both.
 func (m *Machine) StartAgents(enc *Enclave, policy any, opts ...AgentOption) *AgentSet {
-	return agentsdk.Start(m.k, enc, m.Agents, policy, opts...)
+	set := agentsdk.Start(m.k, enc, m.Agents, policy, opts...)
+	m.sets = append(m.sets, set)
+	return set
 }
 
 // ThreadClass selects the scheduling class a thread is spawned under.

@@ -9,7 +9,7 @@
 #   -quick  smoke mode for CI: only the engine hot-path and full-sweep
 #           benchmarks, output to /tmp unless an explicit path is given.
 #
-# The default output (BENCH_pr9.json) is the current recorded artifact
+# The default output (BENCH_pr10.json) is the current recorded artifact
 # (the PR 8 timer-wheel recording was never committed — the BENCH_*.json
 # gitignore rule swallowed it — so PR 9 re-recorded and re-pointed the
 # gate); regenerate on a quiet machine and compare recordings with
@@ -17,7 +17,7 @@
 set -e
 
 PATTERN='.'
-OUT=BENCH_pr9.json
+OUT=BENCH_pr10.json
 if [ "$1" = "-quick" ]; then
 	shift
 	PATTERN='BenchmarkEngineSchedule|BenchmarkFullSweep'
@@ -26,7 +26,9 @@ fi
 [ -n "$1" ] && OUT=$1
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+# BenchmarkSnapshotRoundTrip and the snapshot CLI smokes drop .snap
+# checkpoint files; they are artifacts, not recordings.
+trap 'rm -f "$RAW" ./*.snap' EXIT
 
 START=$(date +%s)
 # -timeout 0: the full-size figure benchmarks exceed go test's default

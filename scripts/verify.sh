@@ -61,6 +61,24 @@ go run ./cmd/ghost-bench -diff BENCH_pr6.json BENCH_pr7.json
 echo "== bench recording gate (pr7 -> pr9 full artifacts)"
 go run ./cmd/ghost-bench -diff BENCH_pr7.json BENCH_pr9.json
 
+echo "== bench recording gate (pr9 -> pr10 full artifacts)"
+go run ./cmd/ghost-bench -diff BENCH_pr9.json BENCH_pr10.json
+
+echo "== snapshot smoke (fig5 restore-transparency digest compare)"
+go run ./cmd/ghost-bench -exp fig5 -quick -snapshot-every 5ms >/dev/null
+
+echo "== snapshot smoke (ghost-check checkpoint rewind on a directed regression)"
+rewind_out=$(go run ./cmd/ghost-check \
+	-repro "seed=3 policy=central-fifo cpus=4 threads=9 horizon=25.000ms shards=2" \
+	-mutate drop-wakeup -snapshot-every 3ms || true)
+echo "$rewind_out" | grep -q "^rewind: from checkpoint" || {
+	echo "ghost-check rewind smoke: no rewind report in output:" >&2
+	echo "$rewind_out" >&2
+	exit 1
+}
+echo "$rewind_out" | grep "^rewind:"
+rm -f ./*.snap
+
 echo "== profile smoke (-cpuprofile/-memprofile produce non-empty pprof)"
 sh scripts/profile.sh -out /tmp/ghost-profile-verify ghost-bench -exp fig6a -quick >/dev/null
 

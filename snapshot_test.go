@@ -1,0 +1,261 @@
+package ghost_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ghost"
+)
+
+// buildServing constructs the snapshot test scenario entirely from
+// snapshot-capable pieces: an enclave with a centralized FIFO agent, a
+// ghOSt-class worker pool fed by a Poisson source, and a spinner
+// antagonist sharing the enclave.
+func buildServing(shards int, extra ...ghost.MachineOption) *ghost.Machine {
+	opts := []ghost.MachineOption{}
+	if shards > 1 {
+		opts = append(opts, ghost.WithShards(shards))
+	}
+	opts = append(opts, extra...)
+	m := ghost.NewMachine(ghost.XeonE5(), opts...)
+	enc := m.NewEnclave(ghost.MaskOf(0, 1, 2, 3))
+	m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global())
+	pool := m.NewWorkerPool(3, &ghost.LatencyRecorder{}, func(name string, body ghost.ThreadFunc) *ghost.Thread {
+		return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
+	})
+	m.AddSnapshotComponent("pool", pool)
+	src := m.NewPoissonSource(ghost.NewRand(7), 40_000, ghost.ExponentialService(20*ghost.Microsecond),
+		func(r *ghost.Request) { pool.Submit(r) })
+	m.AddSnapshotComponent("src", src)
+	m.SpawnSpinner(ghost.ThreadOpts{Name: "spin", Class: ghost.Ghost(enc)}, 15*ghost.Microsecond)
+	return m
+}
+
+// servingRestoreOpts supplies the one closure a snapshot cannot carry:
+// the Poisson source's sink, re-wired to the restored pool.
+func servingRestoreOpts() []ghost.MachineOption {
+	return []ghost.MachineOption{
+		ghost.WithRestoredComponent("src", func(m *ghost.Machine) (ghost.SnapshotComponent, error) {
+			pool, ok := m.SnapshotComponent("pool").(*ghost.WorkerPool)
+			if !ok {
+				return nil, errors.New("pool not restored before src")
+			}
+			return m.NewPoissonShell(func(r *ghost.Request) { pool.Submit(r) }), nil
+		}),
+	}
+}
+
+// digestAt snapshots m (which must be at a quiescent barrier) and
+// returns its core digest.
+func digestAt(t *testing.T, m *ghost.Machine) string {
+	t.Helper()
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return s.Digest()
+}
+
+// TestSnapshotRoundTripDeterminism is the restore-transparency gate:
+// digest(run 0→T) == digest(restore(snap@t), run t→T) for snapshot
+// points at the start, middle, and near the horizon, at shard counts 1
+// and 4. The snapshot is pushed through the wire codec on the way, so
+// the byte format is part of the proof.
+func TestSnapshotRoundTripDeterminism(t *testing.T) {
+	const horizon = 4 * ghost.Millisecond
+	wants := map[int]string{}
+	for _, shards := range []int{1, 4} {
+		ref := buildServing(shards)
+		ref.Run(horizon)
+		want := digestAt(t, ref)
+		wants[shards] = want
+		ref.Shutdown()
+
+		for _, tc := range []struct {
+			name string
+			at   ghost.Duration
+		}{
+			{"t0", 0},
+			{"mid", horizon / 2},
+			{"late", horizon - 200*ghost.Microsecond},
+		} {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, tc.name), func(t *testing.T) {
+				cand := buildServing(shards)
+				defer cand.Shutdown()
+				if tc.at > 0 {
+					cand.Run(tc.at)
+				}
+				s, err := cand.Snapshot()
+				if err != nil {
+					t.Fatalf("Snapshot at %v: %v", tc.at, err)
+				}
+
+				// Round-trip through the serialized container.
+				var buf bytes.Buffer
+				if _, err := s.WriteTo(&buf); err != nil {
+					t.Fatalf("WriteTo: %v", err)
+				}
+				s2, err := ghost.ReadSnapshot(&buf)
+				if err != nil {
+					t.Fatalf("ReadSnapshot: %v", err)
+				}
+				if s2.Digest() != s.Digest() {
+					t.Fatalf("digest changed across codec: %s != %s", s2.Digest(), s.Digest())
+				}
+				if s2.Time() != tc.at {
+					t.Fatalf("snapshot time = %v, want %v", s2.Time(), tc.at)
+				}
+
+				restored, err := ghost.Restore(s2, servingRestoreOpts()...)
+				if err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				defer restored.Shutdown()
+				if restored.Now() != tc.at {
+					t.Fatalf("restored Now = %v, want %v", restored.Now(), tc.at)
+				}
+				restored.RunUntil(horizon)
+				if got := digestAt(t, restored); got != want {
+					t.Fatalf("restore not transparent: digest %s, want %s", got, want)
+				}
+			})
+		}
+	}
+	// The core digest is shard-layout independent: the same logical
+	// machine fingerprints identically at 1 and 4 shards.
+	if wants[1] != wants[4] {
+		t.Fatalf("digest differs across shard counts: %s (1) != %s (4)", wants[1], wants[4])
+	}
+}
+
+// TestSnapshotShardMismatch: a snapshot restores only at its own shard
+// count (the shard section pins event domains).
+func TestSnapshotShardMismatch(t *testing.T) {
+	m := buildServing(4)
+	defer m.Shutdown()
+	m.Run(ghost.Millisecond)
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", s.Shards())
+	}
+}
+
+// TestSnapshotDecodeErrors: corrupt, truncated, and wrong-version
+// containers surface typed errors, never panics.
+func TestSnapshotDecodeErrors(t *testing.T) {
+	m := buildServing(1)
+	defer m.Shutdown()
+	m.Run(ghost.Millisecond)
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	good := buf.Bytes()
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		_, err := ghost.ReadSnapshot(bytes.NewReader(data))
+		if !errors.Is(err, want) {
+			t.Fatalf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+
+	check("empty", nil, ghost.ErrSnapshotCorrupt)
+	check("truncated", good[:len(good)-7], ghost.ErrSnapshotCorrupt)
+	check("short-header", good[:10], ghost.ErrSnapshotCorrupt)
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	check("bad-magic", bad, ghost.ErrSnapshotCorrupt)
+
+	bad = append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xff
+	check("flipped-byte", bad, ghost.ErrSnapshotCorrupt)
+
+	bad = append([]byte(nil), good...)
+	bad[8] = 0x7f // version field, little-endian u32 after the magic
+	check("wrong-version", bad, ghost.ErrSnapshotVersion)
+}
+
+// TestWithSnapshotEvery: periodic checkpoints land exactly on the
+// requested boundaries and none are skipped in a snapshot-capable
+// scenario.
+func TestWithSnapshotEvery(t *testing.T) {
+	m := buildServing(1, ghost.WithSnapshotEvery(ghost.Millisecond))
+	defer m.Shutdown()
+	m.Run(3500 * ghost.Microsecond)
+	cks := m.Checkpoints()
+	if len(cks) != 3 {
+		t.Fatalf("checkpoints = %d, want 3", len(cks))
+	}
+	for i, s := range cks {
+		want := ghost.Time(i+1) * ghost.Millisecond
+		if s.Time() != want {
+			t.Fatalf("checkpoint %d at %v, want %v", i, s.Time(), want)
+		}
+	}
+	if m.SnapshotSkips() != 0 {
+		t.Fatalf("skips = %d, want 0", m.SnapshotSkips())
+	}
+
+	// A checkpoint restores just like an explicit snapshot.
+	restored, err := ghost.Restore(cks[1], servingRestoreOpts()...)
+	if err != nil {
+		t.Fatalf("Restore(checkpoint): %v", err)
+	}
+	defer restored.Shutdown()
+	if restored.Now() != 2*ghost.Millisecond {
+		t.Fatalf("restored Now = %v", restored.Now())
+	}
+}
+
+// BenchmarkSnapshotRoundTrip measures the checkpoint cycle on a warmed
+// serving machine: Snapshot (quiescent-barrier walk), Encode to the wire
+// format, Decode, and Restore into a runnable machine. snap-bytes
+// reports the encoded checkpoint size.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	m := ghost.NewMachine(ghost.XeonE5())
+	enc := m.NewEnclave(ghost.MaskOf(0, 1, 2, 3))
+	m.StartAgents(enc, ghost.NewFIFOPolicy(), ghost.Global())
+	pool := m.NewWorkerPool(3, &ghost.LatencyRecorder{}, func(name string, body ghost.ThreadFunc) *ghost.Thread {
+		return m.Spawn(ghost.ThreadOpts{Name: name, Class: ghost.Ghost(enc)}, body)
+	})
+	m.AddSnapshotComponent("pool", pool)
+	src := m.NewPoissonSource(ghost.NewRand(7), 40_000, ghost.ExponentialService(20*ghost.Microsecond),
+		func(r *ghost.Request) { pool.Submit(r) })
+	m.AddSnapshotComponent("src", src)
+	m.Run(10 * ghost.Millisecond)
+	defer m.Shutdown()
+
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := m.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		if _, err := s.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		r, err := ghost.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm, err := ghost.Restore(r, servingRestoreOpts()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm.Shutdown()
+	}
+	b.ReportMetric(float64(buf.Len()), "snap-bytes")
+}

@@ -55,3 +55,33 @@ func (m *Machine) NewPoissonSource(r *Rand, rate float64, service ServiceDist, s
 func (m *Machine) NewWorkerPool(n int, rec *LatencyRecorder, spawn func(name string, body ThreadFunc) *Thread) *WorkerPool {
 	return workload.NewWorkerPool(m.k, n, rec, spawn)
 }
+
+// SpawnSpinner spawns a snapshot-capable CPU-bound antagonist: a
+// Spinner body with its descriptor attached, so the thread is re-created
+// (mid-chunk) when the machine is restored from a snapshot.
+func (m *Machine) SpawnSpinner(o ThreadOpts, chunk Duration) *Thread {
+	th := m.Spawn(o, workload.Spinner(chunk))
+	th.SetBodyDesc(workload.SpinnerDesc(chunk))
+	return th
+}
+
+// NewWorkerPoolShell builds an empty worker pool for snapshot restore
+// (see WithRestoredComponent): no workers are spawned — they are rebuilt
+// from the snapshot's thread records and re-adopted by the pool — and
+// the pool's serialized state is overlaid afterwards. rec may be nil for
+// a fresh recorder. Most restores don't need this: pools restore through
+// their registered factory; supply a shell only to re-attach live wiring
+// such as DoneRebinder or a shared recorder.
+func (m *Machine) NewWorkerPoolShell(rec *LatencyRecorder) *WorkerPool {
+	return workload.NewPoolShell(m.k, rec)
+}
+
+// NewPoissonShell builds an unarmed Poisson source for snapshot restore:
+// rate, service distribution, random-stream state and arming ride in the
+// snapshot and are overlaid afterwards; only the sink closure — which a
+// byte stream cannot carry — comes from the caller. A machine with a
+// Poisson source component must be restored with a
+// WithRestoredComponent factory that calls this.
+func (m *Machine) NewPoissonShell(sink func(*Request)) *PoissonSource {
+	return workload.NewPoissonShell(m.sched, sink)
+}
